@@ -1,0 +1,23 @@
+# Convenience targets for the reproduction repository.
+
+.PHONY: install test bench bench-paper figures examples all
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-paper:
+	REPRO_BENCH_QUALITY=paper pytest benchmarks/ --benchmark-only
+
+figures:
+	python -m repro.bench
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; python $$f; done
+
+all: test bench figures

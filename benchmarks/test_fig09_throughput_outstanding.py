@@ -1,0 +1,52 @@
+"""Figure 9: throughput vs. simultaneously outstanding operations (FDR IB).
+
+Paper claims reproduced here:
+
+* 9a (equal outstanding ops): the indirect protocol is "always
+  substantially lower due to the required buffer copies" (20-27 Gb/s vs
+  35-46 Gb/s direct), and the dynamic protocol "drops to the level of the
+  indirect-only protocol" because the sender always gets ahead.
+* 9b (receives = 2 x sends): "the throughput is approximately the same as
+  the direct-only protocol if the number of outstanding receive operations
+  is twice as large as the number of outstanding send operations" — modulo
+  one low-outstanding anomaly where an early mode switch strands a run in
+  indirect mode (the paper saw this at its (4,2) point).
+"""
+
+from conftest import run_once
+from repro.bench.figures import fig9a, fig9b
+
+
+def test_fig9a(benchmark, quality):
+    fd = run_once(benchmark, lambda: fig9a(quality))
+    print("\n" + fd.text("throughput"))
+
+    direct = fd.throughputs_gbps("direct")
+    dynamic = fd.throughputs_gbps("dynamic")
+    indirect = fd.throughputs_gbps("indirect")
+
+    for x, d, i in zip(fd.xs, direct, indirect):
+        # direct wins big on FDR (paper: ~45 vs ~25)
+        assert d > 1.4 * i, f"direct should beat indirect at x={x}: {d} vs {i}"
+    for x, dyn, i in zip(fd.xs, dynamic, indirect):
+        # dynamic collapses onto the indirect baseline (within ~25%)
+        assert abs(dyn - i) / i < 0.25, f"dynamic!=indirect at x={x}: {dyn} vs {i}"
+    # ranges roughly match the paper's reported bands
+    assert 18 < min(indirect) and max(indirect) < 32      # paper: 20-27
+    assert 33 < max(direct) < 50                          # paper: 35-46
+
+
+def test_fig9b(benchmark, quality):
+    fd = run_once(benchmark, lambda: fig9b(quality))
+    print("\n" + fd.text("throughput"))
+
+    direct = fd.throughputs_gbps("direct")
+    dynamic = fd.throughputs_gbps("dynamic")
+
+    # With 2x receive headroom the dynamic protocol tracks direct-only at
+    # most points; allow one anomalous point (the paper saw exactly one).
+    close = [abs(dyn - d) / d < 0.15 for d, dyn in zip(direct, dynamic)]
+    assert sum(close) >= len(close) - 1, (
+        f"dynamic should track direct at all but <=1 point: {list(zip(fd.xs, close))}"
+    )
+    assert close[-1], "high-outstanding points must track direct"

@@ -1,0 +1,46 @@
+"""Figure 10: receiver CPU usage vs. outstanding operations (FDR IB).
+
+Paper claims: "For the indirect-only protocol, CPU usage approaches 100%
+as the number of simultaneously outstanding operations increases ...  For
+the direct-only protocol, the CPU usage is always much lower because of
+the zero-copy nature of RDMA.  ...  in cases where the dynamic protocol is
+able to use direct transfers, the dynamic protocol adds little CPU
+overhead."
+"""
+
+from conftest import run_once
+from repro.bench.figures import fig10a, fig10b
+
+
+def cpus(fd, name):
+    return fd.metric(name, lambda a: a.receiver_cpu.mean)
+
+
+def test_fig10a(benchmark, quality):
+    fd = run_once(benchmark, lambda: fig10a(quality))
+    print("\n" + fd.text("cpu"))
+
+    indirect = cpus(fd, "indirect")
+    direct = cpus(fd, "direct")
+    dynamic = cpus(fd, "dynamic")
+
+    # indirect approaches 100% with enough outstanding operations
+    assert indirect[-1] > 0.9
+    assert all(c > 0.6 for c in indirect)
+    # direct stays near idle (zero copy)
+    assert all(c < 0.15 for c in direct)
+    # equal-outstanding dynamic behaves like indirect (it is buffering)
+    for dyn, ind in zip(dynamic[1:], indirect[1:]):
+        assert abs(dyn - ind) < 0.2
+
+
+def test_fig10b(benchmark, quality):
+    fd = run_once(benchmark, lambda: fig10b(quality))
+    print("\n" + fd.text("cpu"))
+
+    direct = cpus(fd, "direct")
+    dynamic = cpus(fd, "dynamic")
+    # with receive headroom, dynamic is zero-copy: CPU as low as direct-only
+    low = [dyn < 0.25 for dyn in dynamic]
+    assert sum(low) >= len(low) - 1, f"dynamic CPU high: {list(zip(fd.xs, dynamic))}"
+    assert all(c < 0.15 for c in direct)

@@ -1,0 +1,62 @@
+"""Figure 11: varying outstanding sends, receiver fixed at 32 (dynamic).
+
+Paper claims: "throughput increases with message size, as expected.  We
+also see that the throughput has little variation as the number of
+outstanding send operations increases above 5, except when the message
+size is 128 KiB ... the variation in the number of direct transfers is
+high" in a mid-size band — an instability region where runs flip between
+direct and indirect.
+
+The simulation adds one sharp corollary the paper's Fig. 9a implies: when
+the send count reaches the receiver's 32, the configuration *is* the
+equal-outstanding case and smaller sizes drop into indirect mode.
+"""
+
+from conftest import run_once
+from repro.bench.figures import fig11
+
+
+def test_fig11a_throughput(benchmark, quality):
+    fd = run_once(benchmark, lambda: fig11(quality))
+    print("\n" + fd.text("throughput"))
+    print("\n" + fd.text("ratio"))
+
+    # throughput ordered by message size at moderate send counts
+    mid = fd.xs.index(10)
+    by_size = [fd.series[label][mid].throughput_gbps for label in fd.series]
+    assert by_size == sorted(by_size), f"throughput not ordered by size: {by_size}"
+
+    # little variation across send counts in [5, 25] for large messages
+    for label in ("128KiB", "1MiB"):
+        vals = [a.throughput_gbps for a, s in zip(fd.series[label], fd.xs) if 5 <= s <= 25]
+        assert (max(vals) - min(vals)) / max(vals) < 0.15, f"{label}: {vals}"
+
+    # small messages are far below wire rate (per-op dominated)
+    assert fd.series["512B"][mid].throughput_gbps < 8.0
+
+
+def test_fig11b_direct_ratio(benchmark, quality):
+    fd = run_once(benchmark, lambda: fig11(quality))
+
+    # with few outstanding sends the receiver is always ahead: all direct
+    low = fd.xs.index(2)
+    for label in fd.series:
+        assert fd.series[label][low].direct_ratio.mean > 0.95, label
+
+    # somewhere in the sweep the ratio becomes unstable/indirect for the
+    # smaller sizes (run-to-run variance or a collapse), while 1 MiB stays
+    # overwhelmingly direct until the very end
+    collapsed = [
+        min(a.direct_ratio.mean for a in fd.series[label]) < 0.5
+        for label in ("512B", "8KiB", "128KiB")
+    ]
+    assert any(collapsed), "expected an indirect collapse in the small/mid sizes"
+    big_until_25 = [
+        a.direct_ratio.mean for a, s in zip(fd.series["1MiB"], fd.xs) if s <= 25
+    ]
+    assert min(big_until_25) > 0.9
+
+    # sends == receiver outstanding (32) reproduces the equal-outstanding
+    # regime of Fig. 9a: small sizes mostly indirect
+    last = fd.xs.index(32)
+    assert fd.series["512B"][last].direct_ratio.mean < 0.3

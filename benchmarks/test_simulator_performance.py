@@ -1,0 +1,67 @@
+"""Wall-clock performance of the simulation substrate itself.
+
+Unlike the reproduction benchmarks (which measure *simulated* time), these
+measure how fast the simulator runs on the host — the figure of merit for
+scaling the experiment harness.  pytest-benchmark's statistics apply
+normally here.
+"""
+
+import pytest
+
+from repro.apps import BlastConfig, FixedSizes, run_blast
+from repro.core import ProtocolMode
+from repro.simnet import Simulator, Timeout
+
+
+def test_event_calendar_throughput(benchmark):
+    """Raw calendar rate: schedule-and-fire chains of timeouts."""
+
+    def run():
+        sim = Simulator()
+
+        def chain():
+            for _ in range(20_000):
+                yield sim.timeout(5)
+
+        sim.process(chain())
+        sim.run()
+        return sim.events_executed
+
+    events = benchmark(run)
+    assert events >= 20_000
+
+
+def test_blast_simulation_rate(benchmark):
+    """End-to-end cost of simulating one blast message (full stack)."""
+
+    def run():
+        cfg = BlastConfig(
+            total_messages=400,
+            sizes=FixedSizes(64 * 1024),
+            recv_buffer_bytes=64 * 1024,
+            outstanding_sends=4,
+            outstanding_recvs=8,
+            mode=ProtocolMode.DYNAMIC,
+        )
+        return run_blast(cfg, seed=1, max_events=50_000_000)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert result.total_bytes == 400 * 64 * 1024
+
+
+def test_indirect_copy_path_rate(benchmark):
+    """The busiest code path: indirect transfers with ring copies."""
+
+    def run():
+        cfg = BlastConfig(
+            total_messages=300,
+            sizes=FixedSizes(256 * 1024),
+            recv_buffer_bytes=256 * 1024,
+            outstanding_sends=4,
+            outstanding_recvs=4,
+            mode=ProtocolMode.INDIRECT_ONLY,
+        )
+        return run_blast(cfg, seed=1, max_events=50_000_000)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert result.rx_stats.copied_bytes == result.total_bytes

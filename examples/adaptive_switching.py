@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Watch the dynamic protocol adapt to a workload that changes mid-stream.
+
+The paper's future-work section asks how the algorithm behaves under
+"dynamically changing send and receive message sizes and burstiness during
+a connection".  This example drives a three-phase workload through one
+connection:
+
+1. large 1 MiB messages with plenty of receive slack  -> direct (zero-copy)
+2. a burst of small 8 KiB messages                    -> sender gets ahead,
+   protocol falls back to buffered (indirect) transfers
+3. large messages again                               -> the receiver drains,
+   resynchronises, and the protocol returns to zero-copy
+
+Run:  python examples/adaptive_switching.py
+"""
+
+from repro import BlastConfig, ProtocolMode
+from repro.apps import KIB, MIB, FixedSizes, PhasedSizes, run_blast
+
+PHASES = [
+    ("large  (1 MiB x 60)", FixedSizes(1 * MIB), 60),
+    ("small  (8 KiB x 400)", FixedSizes(8 * KIB), 400),
+    ("large  (1 MiB x 60)", FixedSizes(1 * MIB), 60),
+]
+
+
+def main() -> None:
+    workload = PhasedSizes([(gen, count) for _label, gen, count in PHASES])
+    total = sum(count for _l, _g, count in PHASES)
+    cfg = BlastConfig(
+        total_messages=total,
+        sizes=workload,
+        outstanding_sends=2,
+        outstanding_recvs=4,
+        recv_buffer_bytes=1 * MIB,
+        mode=ProtocolMode.DYNAMIC,
+    )
+    r = run_blast(cfg, seed=5)
+    tx = r.tx_stats
+
+    print("three-phase workload over one connection "
+          f"({total} messages, {r.total_bytes / MIB:.0f} MiB total):")
+    for label, _gen, count in PHASES:
+        print(f"  - {label}")
+    print()
+    print(f"throughput              : {r.throughput_gbps:.2f} Gb/s")
+    print(f"direct transfers        : {tx.direct_transfers} ({tx.direct_bytes / MIB:.1f} MiB)")
+    print(f"indirect transfers      : {tx.indirect_transfers} ({tx.indirect_bytes / MIB:.1f} MiB)")
+    print(f"protocol mode switches  : {tx.mode_switches}")
+    print(f"stale ADVERTs discarded : {tx.adverts_discarded}")
+    print()
+    if tx.mode_switches >= 2:
+        print("the protocol switched into buffered mode for the small-message burst")
+        print("and recovered to zero-copy afterwards — adapting 'throughout the")
+        print("entire life of the socket connection' as the paper describes.")
+    else:
+        print("NOTE: with this seed the receiver kept up throughout; rerun with a")
+        print("different seed to observe a fallback/recovery cycle.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Large file transfer over distance — the paper's motivating scenario.
+
+RDMA over long-haul links (GridFTP-style bulk data movement) is where
+waiting for buffer advertisements hurts most: at a 48 ms RTT, a sender
+that must wait for an ADVERT before each large message wastes the pipe.
+This example transfers a 256 MiB "file" over the emulated 10 GbE + 48 ms
+path with each of the three protocols and prints the comparison the
+paper's Fig. 13 makes.
+
+Run:  python examples/file_transfer_wan.py
+"""
+
+from repro import BlastConfig, ExsSocketOptions, FixedSizes, ProtocolMode, ROCE_10G_WAN
+from repro.apps import MIB, run_blast
+
+FILE_BYTES = 256 * MIB
+CHUNK = 1 * MIB
+OUTSTANDING = 16
+
+
+def main() -> None:
+    print(f"transferring a {FILE_BYTES // MIB} MiB file in {CHUNK // MIB} MiB chunks, "
+          f"{OUTSTANDING} outstanding ops, 10 GbE + 48 ms RTT\n")
+    print(f"{'protocol':10s} {'throughput':>14s} {'transfer time':>14s} {'receiver CPU':>13s}")
+    for mode in (ProtocolMode.DIRECT_ONLY, ProtocolMode.INDIRECT_ONLY, ProtocolMode.DYNAMIC):
+        cfg = BlastConfig(
+            total_messages=FILE_BYTES // CHUNK,
+            sizes=FixedSizes(CHUNK),
+            outstanding_sends=OUTSTANDING,
+            outstanding_recvs=OUTSTANDING,
+            recv_buffer_bytes=CHUNK,
+            mode=mode,
+            # size the hidden buffer above the bandwidth-delay product so
+            # indirect transfers can fill the pipe
+            options=ExsSocketOptions(ring_capacity=64 * MIB),
+        )
+        r = run_blast(cfg, ROCE_10G_WAN, seed=3)
+        secs = (r.end_ns - r.start_ns) / 1e9
+        print(f"{mode.value:10s} {r.throughput_bps / 1e9:11.3f} Gb/s {secs:12.2f} s "
+              f"{r.receiver_cpu * 100:11.1f} %")
+    print("\nover distance the three protocols converge (window-limited), so the")
+    print("dynamic protocol's buffering costs nothing — while on a LAN it would")
+    print("have preserved the zero-copy fast path (see examples/quickstart.py).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""GridFTP-style parallel-stream file movement over distance.
+
+The work that motivated UNH EXS over distance (the paper's reference to
+RDMA-based GridFTP) moves big files across long fat networks with several
+parallel streams.  This example transfers a 256 MiB file over the emulated
+10 GbE + 48 ms path, sweeping the stream count: each stream is window-
+limited, so aggregate throughput scales with streams until the wire is
+full — exactly why bulk-transfer tools parallelise.
+
+Run:  python examples/parallel_gridftp.py
+"""
+
+from repro import ExsSocketOptions, ROCE_10G_WAN
+from repro.apps import MIB, FileTransferConfig, run_file_transfer
+
+FILE = 256 * MIB
+
+
+def main() -> None:
+    print(f"moving a {FILE // MIB} MiB file over 10 GbE + 48 ms RTT "
+          f"(1 MiB chunks, 8 outstanding per stream)\n")
+    print(f"{'streams':>8s} {'throughput':>14s} {'elapsed':>10s} {'per-stream':>12s}")
+    for streams in (1, 2, 4, 8):
+        cfg = FileTransferConfig(
+            file_bytes=FILE,
+            streams=streams,
+            chunk_bytes=1 * MIB,
+            outstanding=8,
+            options=ExsSocketOptions(ring_capacity=64 * MIB),
+        )
+        r = run_file_transfer(cfg, ROCE_10G_WAN, seed=2)
+        per = sum(s.throughput_bps for s in r.streams) / len(r.streams) / 1e9
+        print(f"{streams:>8d} {r.throughput_gbps:>11.2f} Gb/s {r.elapsed_s:>8.2f} s "
+              f"{per:>9.2f} Gb/s")
+    print("\neach stream is limited to outstanding x chunk / RTT; parallel")
+    print("streams multiply the in-flight window until the 10 GbE wire binds.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: a byte stream between two hosts over simulated RDMA.
+
+Builds the two-node FDR InfiniBand testbed, connects an EXS SOCK_STREAM
+socket pair, pushes a few megabytes through the dynamic protocol with real
+bytes, verifies integrity, and prints the protocol statistics — showing
+which transfers went zero-copy (direct) and which through the hidden
+intermediate buffer (indirect).
+
+Run:  python examples/quickstart.py
+"""
+
+import os
+
+from repro import Testbed
+from repro.exs import BlockingSocket
+
+PORT = 4000
+MESSAGE_SIZES = [64, 1_000, 64_000, 1_000_000, 250_000, 8]
+
+
+def server(tb: Testbed, out: dict):
+    conn = yield from BlockingSocket.accept_one(tb.server, PORT)
+    received = []
+    while True:
+        data = yield from conn.recv_bytes(1 << 20)
+        if data == b"":
+            break
+        received.append(data)
+    out["data"] = b"".join(received)
+    out["rx_stats"] = conn.sock.rx_stats
+
+
+def client(tb: Testbed, out: dict):
+    conn = yield from BlockingSocket.connect(tb.client, PORT)
+    payload = os.urandom(sum(MESSAGE_SIZES))
+    off = 0
+    for size in MESSAGE_SIZES:
+        yield from conn.send_bytes(payload[off : off + size])
+        off += size
+    out["data"] = payload
+    out["tx_stats"] = conn.sock.tx_stats
+    yield from conn.close()
+
+
+def main() -> None:
+    tb = Testbed(seed=7)
+    server_out, client_out = {}, {}
+    tb.sim.process(server(tb, server_out), name="server")
+    tb.sim.process(client(tb, client_out), name="client")
+    tb.run()
+
+    assert server_out["data"] == client_out["data"], "stream corrupted!"
+    total = len(client_out["data"])
+    tx = client_out["tx_stats"]
+    print(f"transferred {total} bytes intact in {tb.now / 1e6:.3f} ms of simulated time")
+    print(f"  direct (zero-copy) transfers : {tx.direct_transfers:4d}  ({tx.direct_bytes} bytes)")
+    print(f"  indirect (buffered) transfers: {tx.indirect_transfers:4d}  ({tx.indirect_bytes} bytes)")
+    print(f"  protocol mode switches       : {tx.mode_switches}")
+    print(f"  ADVERTs received / discarded : {tx.adverts_received} / {tx.adverts_discarded}")
+    print()
+    print("synchronous one-at-a-time sockets usage keeps the sender ahead of the")
+    print("receiver, so the protocol rides the intermediate buffer — the paper's")
+    print("case (i).  Pipelined asynchronous receivers go zero-copy instead; see")
+    print("examples/adaptive_switching.py for the protocol moving between both.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setup shim: enables `python setup.py develop` / legacy tooling.
+
+All real metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,19 @@
+"""Analytic models used to sanity-check the simulated results."""
+
+from .advert_race import ModePrediction, RaceModel, predict_mode
+from .bounds import (
+    copy_rate_bound_bps,
+    expected_winner,
+    window_bound_bps,
+    wire_rate_bound_bps,
+)
+
+__all__ = [
+    "ModePrediction",
+    "RaceModel",
+    "copy_rate_bound_bps",
+    "predict_mode",
+    "expected_winner",
+    "window_bound_bps",
+    "wire_rate_bound_bps",
+]

@@ -1,0 +1,144 @@
+"""First-order model of the ADVERT race that decides the protocol's mode.
+
+The dynamic protocol's steady-state behaviour reduces to one race per
+message: does the next ADVERT reach the sender before the sender's next
+send is ready?  Both paths start when a data message arrives at the
+receiver:
+
+* the **send-credit path** (hardware): transport ACK generation, the wire
+  back, sender completion dispatch, application repost — after which the
+  sender's next transfer wants an ADVERT;
+* the **ADVERT path** (software): receiver completion dispatch,
+  application repost of the receive, ADVERT build, and the wire back.
+
+Their *structural difference* plus the wake-up latency jitter on each hop
+gives a lag band ``[lag_lo, lag_hi]``.  The sender tolerates a lag of
+``(outstanding_recvs - outstanding_sends) x per-message transmission
+time`` — its *slack*.  Comparing slack to the lag band predicts the
+regime:
+
+* ``DIRECT``    — slack clears even the worst-case lag: zero-copy forever
+  (paper Fig. 9b, Fig. 12b's >= 512 KiB plateau);
+* ``INDIRECT``  — no slack at all: one lost race, and stickiness does the
+  rest (paper Fig. 9a, Table III equal rows);
+* ``UNSTABLE``  — slack inside the jitter band: some runs lose the race
+  and stick, others never do (paper Fig. 11b/12b instability);
+* ``BATCHED``   — messages shorter than a wake-up: completions and
+  ADVERTs move in per-wake-up batches and the per-message model does not
+  apply (empirically the small-message regime stays mostly direct when
+  the receiver has headroom).
+
+This is deliberately a *first-order* model; ``tests/analysis`` checks its
+predictions against full simulations.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..bench.profiles import HardwareProfile
+from ..verbs.wire import CTRL_WIRE_BYTES_GUESS, HEADER_BYTES
+
+__all__ = ["ModePrediction", "RaceModel", "predict_mode"]
+
+
+class ModePrediction(enum.Enum):
+    DIRECT = "direct"
+    INDIRECT = "indirect"
+    UNSTABLE = "unstable"
+    BATCHED = "batched"
+
+
+@dataclass(frozen=True)
+class RaceModel:
+    """The derived quantities of the race for one profile/config."""
+
+    structural_lag_ns: float
+    jitter_spread_ns: float
+    slack_ns: float
+    tx_ns: float
+    prediction: ModePrediction
+
+    @property
+    def lag_hi_ns(self) -> float:
+        return self.structural_lag_ns + self.jitter_spread_ns
+
+    @property
+    def lag_lo_ns(self) -> float:
+        return self.structural_lag_ns - self.jitter_spread_ns
+
+
+def _tx_ns(profile: HardwareProfile, nbytes: int) -> float:
+    wire = nbytes + HEADER_BYTES
+    tx = profile.per_message_overhead_ns + wire * 8 * 1e9 / profile.link_bandwidth_bps
+    dev = profile.device
+    if dev.large_msg_threshold is not None and nbytes > dev.large_msg_threshold:
+        tx += (nbytes - dev.large_msg_threshold) * dev.large_msg_extra_ns_per_byte
+    return tx
+
+
+def structural_lag_ns(profile: HardwareProfile) -> float:
+    """Mean extra latency of the ADVERT path over the send-credit path.
+
+    Both paths share an engine wake-up, a completion dispatch and an
+    application hop (these cancel in expectation); the ADVERT additionally
+    pays its build/post and its own wire trip, while the credit path pays
+    the ACK turnaround and the sender's re-post.
+    """
+    costs = profile.cpu_costs
+    advert_extra = (
+        costs.send_control_ns
+        + profile.per_message_overhead_ns
+        + CTRL_WIRE_BYTES_GUESS * 8 * 1e9 / profile.link_bandwidth_bps
+        + profile.propagation_delay_ns
+        + profile.emulator_delay_ns
+    )
+    credit_extra = (
+        profile.device.ack_turnaround_ns
+        + profile.propagation_delay_ns
+        + profile.emulator_delay_ns
+        + costs.post_wr_ns
+    )
+    return advert_extra - credit_extra
+
+
+def jitter_spread_ns(profile: HardwareProfile) -> float:
+    """Worst-case wake-up asymmetry between the two paths.
+
+    Each path crosses two wake-ups (engine + application); in the worst
+    case the receiver draws the maximum twice while the sender draws the
+    minimum twice.
+    """
+    return 2.0 * (profile.wakeup_hi_ns - profile.wakeup_lo_ns)
+
+
+def predict_mode(
+    profile: HardwareProfile,
+    outstanding_sends: int,
+    outstanding_recvs: int,
+    message_bytes: int,
+) -> RaceModel:
+    """Predict the dynamic protocol's regime for a blast configuration."""
+    if outstanding_sends < 1 or outstanding_recvs < 1:
+        raise ValueError("outstanding counts must be >= 1")
+    tx = _tx_ns(profile, message_bytes)
+    lag = structural_lag_ns(profile)
+    spread = jitter_spread_ns(profile)
+    slack = (outstanding_recvs - outstanding_sends) * tx
+
+    if tx < profile.wakeup_lo_ns:
+        prediction = ModePrediction.BATCHED
+    elif slack <= max(0.0, lag - spread) or outstanding_recvs <= outstanding_sends:
+        prediction = ModePrediction.INDIRECT
+    elif slack > lag + spread:
+        prediction = ModePrediction.DIRECT
+    else:
+        prediction = ModePrediction.UNSTABLE
+    return RaceModel(
+        structural_lag_ns=lag,
+        jitter_spread_ns=spread,
+        slack_ns=slack,
+        tx_ns=tx,
+        prediction=prediction,
+    )

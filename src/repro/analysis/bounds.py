@@ -1,0 +1,72 @@
+"""Analytic throughput bounds used to sanity-check the simulation.
+
+Three first-order models explain the paper's performance landscape; the
+benchmark suite checks the simulated results against them:
+
+* **wire-rate bound** — the direct protocol at saturation is limited by the
+  effective link bandwidth minus per-message overheads.
+* **copy-rate bound** — the indirect protocol at saturation is limited by
+  the receiver's memcpy bandwidth (the transfer is re-copied once).
+* **window bound** — over a long-delay path, a sender with *n* outstanding
+  operations of mean size *s* can keep at most ``n*s`` bytes in flight per
+  round trip (RC send completions need the transport ACK), so throughput is
+  at most ``n*s / RTT`` regardless of protocol.
+"""
+
+from __future__ import annotations
+
+from ..bench.profiles import HardwareProfile
+from ..verbs.wire import HEADER_BYTES
+
+__all__ = [
+    "wire_rate_bound_bps",
+    "copy_rate_bound_bps",
+    "window_bound_bps",
+    "expected_winner",
+]
+
+
+def wire_rate_bound_bps(profile: HardwareProfile, message_bytes: int) -> float:
+    """Maximum goodput of back-to-back direct transfers of one size."""
+    wire = message_bytes + HEADER_BYTES
+    tx_ns = profile.per_message_overhead_ns + wire * 8 * 1e9 / profile.link_bandwidth_bps
+    dev = profile.device
+    if dev.large_msg_threshold is not None and message_bytes > dev.large_msg_threshold:
+        tx_ns += (message_bytes - dev.large_msg_threshold) * dev.large_msg_extra_ns_per_byte
+    return message_bytes * 8 * 1e9 / tx_ns
+
+
+def copy_rate_bound_bps(profile: HardwareProfile, message_bytes: int) -> float:
+    """Maximum goodput of the indirect protocol (receiver memcpy-bound)."""
+    copy_ns = profile.cpu_costs.copy_ns(message_bytes, profile.copy_bandwidth_bps)
+    per_message = min(
+        message_bytes * 8 * 1e9 / profile.link_bandwidth_bps,  # wire can also bind
+        float("inf"),
+    )
+    bound_copy = message_bytes * 8 * 1e9 / copy_ns
+    return min(bound_copy, wire_rate_bound_bps(profile, message_bytes))
+
+
+def window_bound_bps(outstanding: int, mean_message_bytes: float, rtt_ns: int) -> float:
+    """Throughput ceiling from the outstanding-operation window over *rtt_ns*."""
+    if rtt_ns <= 0:
+        return float("inf")
+    return outstanding * mean_message_bytes * 8 * 1e9 / rtt_ns
+
+
+def expected_winner(profile: HardwareProfile, rtt_ns: int = 0) -> str:
+    """Which baseline should win at saturation on this profile.
+
+    On fast LANs the direct protocol wins whenever the wire outruns the
+    memcpy; over long delays the window bound dominates both and they tie.
+    """
+    if rtt_ns > 1_000_000:  # ≥ 1 ms: window-dominated
+        return "tie"
+    probe = 1 << 20
+    wire = wire_rate_bound_bps(profile, probe)
+    copy = copy_rate_bound_bps(profile, probe)
+    if wire > 1.15 * copy:
+        return "direct"
+    if copy > 1.15 * wire:
+        return "indirect"
+    return "tie"

@@ -1,0 +1,46 @@
+"""Applications and workloads: the blast tool, size generators, metrics."""
+
+from .blast import BlastConfig, BlastResult, run_blast
+from .echo import EchoConfig, EchoResult, run_echo
+from .filetransfer import (
+    FileTransferConfig,
+    FileTransferResult,
+    StreamResult,
+    run_file_transfer,
+)
+from .metrics import MeanCI, mean_ci, percentile, throughput_bps
+from .workloads import (
+    KIB,
+    MIB,
+    BimodalSizes,
+    ExponentialSizes,
+    FixedSizes,
+    PhasedSizes,
+    SizeGenerator,
+    UniformSizes,
+)
+
+__all__ = [
+    "BimodalSizes",
+    "BlastConfig",
+    "BlastResult",
+    "EchoConfig",
+    "EchoResult",
+    "FileTransferConfig",
+    "FileTransferResult",
+    "StreamResult",
+    "ExponentialSizes",
+    "FixedSizes",
+    "KIB",
+    "MIB",
+    "MeanCI",
+    "PhasedSizes",
+    "SizeGenerator",
+    "UniformSizes",
+    "mean_ci",
+    "percentile",
+    "run_blast",
+    "run_echo",
+    "run_file_transfer",
+    "throughput_bps",
+]

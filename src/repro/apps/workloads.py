@@ -1,0 +1,140 @@
+"""Message-size generators for the blast workload.
+
+The paper's throughput experiments draw message sizes "at random from an
+exponential distribution with λ = 1 and a maximum message size of 4 MiB"
+(Figs. 9, 10, 13) or use fixed sizes (Figs. 11, 12).  The future-work
+section proposes "dynamically changing send and receive message sizes and
+burstiness during a connection", which :class:`PhasedSizes` implements.
+
+All generators are seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Sequence
+
+__all__ = [
+    "SizeGenerator",
+    "FixedSizes",
+    "ExponentialSizes",
+    "UniformSizes",
+    "BimodalSizes",
+    "PhasedSizes",
+    "KIB",
+    "MIB",
+]
+
+KIB = 1024
+MIB = 1024 * 1024
+
+
+class SizeGenerator:
+    """Base class: iterable of message sizes in bytes."""
+
+    def sizes(self, count: int) -> List[int]:
+        """The first *count* sizes (always the same for the same instance config)."""
+        it = iter(self)
+        return [next(it) for _ in range(count)]
+
+    def __iter__(self) -> Iterator[int]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    @property
+    def mean_hint(self) -> float:
+        """Approximate mean size (for sizing runs); subclasses refine."""
+        return float(sum(self.sizes(256)) / 256)
+
+
+class FixedSizes(SizeGenerator):
+    """Every message has the same size (paper Figs. 11, 12)."""
+
+    def __init__(self, nbytes: int) -> None:
+        if nbytes <= 0:
+            raise ValueError("message size must be positive")
+        self.nbytes = nbytes
+
+    def __iter__(self) -> Iterator[int]:
+        while True:
+            yield self.nbytes
+
+    @property
+    def mean_hint(self) -> float:
+        return float(self.nbytes)
+
+
+class ExponentialSizes(SizeGenerator):
+    """Exponential sizes with a cap (paper Figs. 9, 10, 13).
+
+    ``mean`` is the (pre-cap) mean in bytes; the paper's "λ = 1" with a
+    4 MiB maximum is read as mean 1 MiB, capped at 4 MiB.
+    """
+
+    def __init__(self, mean: float = 1 * MIB, maximum: int = 4 * MIB, seed: int = 0) -> None:
+        if mean <= 0 or maximum <= 0:
+            raise ValueError("mean and maximum must be positive")
+        self.mean = float(mean)
+        self.maximum = int(maximum)
+        self.seed = seed
+
+    def __iter__(self) -> Iterator[int]:
+        rng = random.Random(self.seed)
+        while True:
+            size = int(rng.expovariate(1.0 / self.mean))
+            yield max(1, min(size, self.maximum))
+
+
+class UniformSizes(SizeGenerator):
+    """Uniform sizes in ``[lo, hi]``."""
+
+    def __init__(self, lo: int, hi: int, seed: int = 0) -> None:
+        if not (0 < lo <= hi):
+            raise ValueError("need 0 < lo <= hi")
+        self.lo, self.hi, self.seed = lo, hi, seed
+
+    def __iter__(self) -> Iterator[int]:
+        rng = random.Random(self.seed)
+        while True:
+            yield rng.randint(self.lo, self.hi)
+
+
+class BimodalSizes(SizeGenerator):
+    """Mixture of a small and a large size (RPC-like traffic)."""
+
+    def __init__(self, small: int, large: int, large_fraction: float = 0.1, seed: int = 0) -> None:
+        if not (0.0 <= large_fraction <= 1.0):
+            raise ValueError("large_fraction must be in [0, 1]")
+        self.small, self.large = small, large
+        self.large_fraction = large_fraction
+        self.seed = seed
+
+    def __iter__(self) -> Iterator[int]:
+        rng = random.Random(self.seed)
+        while True:
+            yield self.large if rng.random() < self.large_fraction else self.small
+
+
+class PhasedSizes(SizeGenerator):
+    """Concatenate sub-generators, each for a fixed number of messages.
+
+    Models workloads whose size profile changes mid-connection (the paper's
+    future-work burstiness scenario): e.g. 500 small messages, then 500
+    large, then small again — the dynamic protocol should re-adapt at each
+    boundary.
+    """
+
+    def __init__(self, phases: Sequence[tuple[SizeGenerator, int]]) -> None:
+        if not phases:
+            raise ValueError("need at least one phase")
+        self.phases = list(phases)
+
+    def __iter__(self) -> Iterator[int]:
+        while True:  # cycle for safety if more sizes are drawn than planned
+            for gen, count in self.phases:
+                it = iter(gen)
+                for _ in range(count):
+                    yield next(it)
+
+    @property
+    def total_planned(self) -> int:
+        return sum(count for _gen, count in self.phases)

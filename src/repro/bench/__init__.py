@@ -1,0 +1,19 @@
+"""Experiment harness: hardware profiles, sweeps, and per-figure runners."""
+
+from .profiles import (
+    FDR_INFINIBAND,
+    PROFILES,
+    QDR_INFINIBAND,
+    ROCE_10G_LAN,
+    ROCE_10G_WAN,
+    HardwareProfile,
+)
+
+__all__ = [
+    "FDR_INFINIBAND",
+    "PROFILES",
+    "QDR_INFINIBAND",
+    "ROCE_10G_LAN",
+    "ROCE_10G_WAN",
+    "HardwareProfile",
+]

@@ -1,0 +1,121 @@
+"""Experiment execution: repeated runs, aggregation, quality levels.
+
+The paper ran each configuration 10 times and reported mean ± 95% CI.  The
+same scheme is used here, with a *quality* knob controlling how many
+messages per run and how many repetitions (seeds) — so the benchmark suite
+can run as a quick smoke pass or at full paper scale:
+
+* ``smoke`` — minimal, for CI (~minutes for the whole suite)
+* ``quick`` — the default; shapes are stable
+* ``paper`` — 10 repetitions, long runs
+
+Select with the ``REPRO_BENCH_QUALITY`` environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..apps.blast import BlastConfig, BlastResult, run_blast
+from ..apps.metrics import MeanCI, mean_ci
+from .profiles import FDR_INFINIBAND, HardwareProfile
+
+__all__ = [
+    "RunQuality",
+    "SMOKE",
+    "QUICK",
+    "PAPER",
+    "quality_from_env",
+    "AggregateResult",
+    "run_repeated",
+]
+
+
+@dataclass(frozen=True)
+class RunQuality:
+    """How much work to spend per experiment point."""
+
+    name: str
+    #: messages per run for exponential-size workloads
+    messages: int
+    #: seeds (= repetitions); the paper used 10
+    seeds: tuple
+    #: total-bytes budget used to scale message counts for fixed-size sweeps
+    bytes_budget: int = 96 * 1024 * 1024
+
+    def fixed_size_messages(self, size: int, lo: int = 30, hi: int = 800) -> int:
+        """Message count for a fixed-size run, bounded to keep runs sane."""
+        return max(lo, min(hi, self.bytes_budget // size))
+
+
+SMOKE = RunQuality("smoke", messages=120, seeds=(1, 2), bytes_budget=48 * 1024 * 1024)
+QUICK = RunQuality("quick", messages=300, seeds=(1, 2, 3))
+PAPER = RunQuality("paper", messages=1500, seeds=tuple(range(1, 11)), bytes_budget=512 * 1024 * 1024)
+
+_QUALITIES = {q.name: q for q in (SMOKE, QUICK, PAPER)}
+
+
+def quality_from_env(default: RunQuality = QUICK) -> RunQuality:
+    """Quality selected by ``REPRO_BENCH_QUALITY`` (smoke/quick/paper)."""
+    name = os.environ.get("REPRO_BENCH_QUALITY", "").strip().lower()
+    return _QUALITIES.get(name, default)
+
+
+@dataclass
+class AggregateResult:
+    """Mean±CI of the standard metrics over repeated runs."""
+
+    throughput_bps: MeanCI
+    receiver_cpu: MeanCI
+    sender_cpu: MeanCI
+    direct_ratio: MeanCI
+    mode_switches: MeanCI
+    runs: List[BlastResult]
+
+    @property
+    def throughput_gbps(self) -> float:
+        return self.throughput_bps.mean / 1e9
+
+    @property
+    def throughput_mbps(self) -> float:
+        return self.throughput_bps.mean / 1e6
+
+
+def run_repeated(
+    config: BlastConfig,
+    profile: HardwareProfile = FDR_INFINIBAND,
+    quality: RunQuality = QUICK,
+    *,
+    max_events: Optional[int] = 400_000_000,
+) -> AggregateResult:
+    """Run *config* once per seed and aggregate the paper's metrics.
+
+    Each repetition reseeds both the testbed (wake-up latencies) and the
+    message-size generator, as independent runs of the real tool would.
+    """
+    runs: List[BlastResult] = []
+    for seed in quality.seeds:
+        sizes = config.sizes
+        if hasattr(sizes, "seed"):
+            sizes = replace_seed(sizes, seed)
+        cfg = replace(config, sizes=sizes)
+        runs.append(run_blast(cfg, profile, seed=seed, max_events=max_events))
+    return AggregateResult(
+        throughput_bps=mean_ci([r.throughput_bps for r in runs]),
+        receiver_cpu=mean_ci([r.receiver_cpu for r in runs]),
+        sender_cpu=mean_ci([r.sender_cpu for r in runs]),
+        direct_ratio=mean_ci([r.direct_ratio for r in runs]),
+        mode_switches=mean_ci([float(r.mode_switches) for r in runs]),
+        runs=runs,
+    )
+
+
+def replace_seed(gen, seed: int):
+    """Copy a size generator with a new seed (mixing in its original)."""
+    import copy
+
+    out = copy.copy(gen)
+    out.seed = gen.seed * 1000 + seed
+    return out

@@ -1,0 +1,55 @@
+"""The paper's contribution: the dynamic direct/indirect stream algorithm.
+
+This subpackage is **pure control logic** — no simulation, no timing, no
+byte movement — which makes it directly unit- and property-testable (the
+hypothesis suites in ``tests/core`` drive it through millions of abstract
+schedules).  The EXS layer (:mod:`repro.exs`) executes its decisions over
+the simulated verbs transport.
+
+Module map to the paper:
+
+================  =====================================================
+``phase``         PHASE IS DIRECT / PHASE IS INDIRECT / NEXT PHASE
+``advert``        ADVERT records (Lemma 1 enforced structurally)
+``ring``          circular intermediate-buffer accounting (b_s / b_r)
+``sender_algo``   Fig. 2 — match exs_send to an ADVERT or the buffer
+``receiver_algo`` Fig. 3 (advertising), Fig. 4 (arrival), Fig. 5 (copy)
+``invariants``    runtime checks of Lemmas 1/4 and Theorem 1
+``modes``         dynamic / direct-only / indirect-only protocols
+``stats``         direct:indirect ratios, mode switches (Table III)
+================  =====================================================
+"""
+
+from .advert import Advert
+from .invariants import SafetyViolation, require
+from .modes import ProtocolMode
+from .phase import INITIAL_PHASE, is_direct, is_indirect, next_phase, to_direct, to_indirect
+from .receiver_algo import CopyPlan, ReceiverAlgorithm, RecvEntry
+from .ring import ReceiverRing, RingError, RingSegment, SenderRingView
+from .sender_algo import DirectPlan, IndirectPlan, SenderAlgorithm, TransferPlan
+from .stats import ProtocolStats
+
+__all__ = [
+    "Advert",
+    "CopyPlan",
+    "DirectPlan",
+    "INITIAL_PHASE",
+    "IndirectPlan",
+    "ProtocolMode",
+    "ProtocolStats",
+    "ReceiverAlgorithm",
+    "ReceiverRing",
+    "RecvEntry",
+    "RingError",
+    "RingSegment",
+    "SafetyViolation",
+    "SenderAlgorithm",
+    "SenderRingView",
+    "TransferPlan",
+    "is_direct",
+    "is_indirect",
+    "next_phase",
+    "require",
+    "to_direct",
+    "to_indirect",
+]

@@ -1,0 +1,53 @@
+"""Phase-number algebra (paper §III).
+
+Phases are a Lamport-style logical clock ordering ADVERT sequences with
+respect to runs of indirect transfers:
+
+* **even** phase numbers denote *direct* phases (zero-copy transfers
+  matched to ADVERTs),
+* **odd** phase numbers denote *indirect* phases (transfers into the
+  hidden intermediate buffer).
+
+Both endpoints start in phase 0 and phases only ever increase.  The paper's
+``PHASE IS DIRECT`` / ``PHASE IS INDIRECT`` / ``NEXT PHASE`` primitives map
+1:1 onto the functions here.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "INITIAL_PHASE",
+    "is_direct",
+    "is_indirect",
+    "next_phase",
+    "to_direct",
+    "to_indirect",
+]
+
+#: both sides of a connection start in this (direct) phase
+INITIAL_PHASE = 0
+
+
+def is_direct(phase: int) -> bool:
+    """True for direct (even) phases — the paper's ``PHASE IS DIRECT``."""
+    return phase % 2 == 0
+
+
+def is_indirect(phase: int) -> bool:
+    """True for indirect (odd) phases — the paper's ``PHASE IS INDIRECT``."""
+    return phase % 2 == 1
+
+
+def next_phase(phase: int) -> int:
+    """The paper's ``NEXT PHASE``: successor of *phase* (flips parity)."""
+    return phase + 1
+
+
+def to_direct(phase: int) -> int:
+    """Smallest direct phase >= *phase*."""
+    return phase if is_direct(phase) else next_phase(phase)
+
+
+def to_indirect(phase: int) -> int:
+    """Smallest indirect phase >= *phase*."""
+    return phase if is_indirect(phase) else next_phase(phase)

@@ -1,0 +1,59 @@
+"""Protocol statistics.
+
+Mirrors the counters the real UNH EXS keeps ("UNH EXS itself keeps
+statistics on the number of indirect vs. direct transfers", §IV-B) plus the
+mode-switch count reported in the paper's Table III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+__all__ = ["ProtocolStats"]
+
+
+@dataclass
+class ProtocolStats:
+    """Counters for one direction of one stream connection."""
+
+    # sender side
+    direct_transfers: int = 0
+    indirect_transfers: int = 0
+    direct_bytes: int = 0
+    indirect_bytes: int = 0
+    #: number of direct<->indirect transitions of the sender's phase
+    mode_switches: int = 0
+    adverts_received: int = 0
+    adverts_discarded: int = 0
+    #: times the sender had data but neither an ADVERT nor buffer space
+    sender_blocked: int = 0
+
+    # receiver side
+    adverts_sent: int = 0
+    adverts_suppressed: int = 0
+    copies: int = 0
+    copied_bytes: int = 0
+    ring_acks_sent: int = 0
+
+    #: (time_ns, new_phase) sender phase transitions, for diagnostics/plots
+    phase_trace: List[tuple] = field(default_factory=list)
+
+    @property
+    def total_transfers(self) -> int:
+        return self.direct_transfers + self.indirect_transfers
+
+    @property
+    def total_bytes(self) -> int:
+        return self.direct_bytes + self.indirect_bytes
+
+    @property
+    def direct_ratio(self) -> float:
+        """Ratio of direct transfers to total transfers (Table III / Figs. 11b, 12b)."""
+        total = self.total_transfers
+        return self.direct_transfers / total if total else 0.0
+
+    @property
+    def direct_byte_ratio(self) -> float:
+        total = self.total_bytes
+        return self.direct_bytes / total if total else 0.0

@@ -1,0 +1,66 @@
+"""UNH EXS library model: stream semantics over simulated RDMA verbs.
+
+The library implements the Extended Sockets API surface the paper relies
+on: asynchronous connected sockets (``SOCK_STREAM`` with the dynamic
+direct/indirect protocol of the paper, plus ``SOCK_SEQPACKET``), explicit
+memory registration, event queues, ``MSG_WAITALL``, and the experiment
+flags that force the direct-only / indirect-only baseline protocols.
+"""
+
+from .api import (
+    BlockingSocket,
+    exs_accept,
+    exs_bind_listen,
+    exs_close,
+    exs_connect,
+    exs_mderegister,
+    exs_mregister,
+    exs_qcreate,
+    exs_qdequeue,
+    exs_recv,
+    exs_send,
+    exs_socket,
+)
+from .connection import ExsConnection
+from .control import AdvertMsg, CreditMsg, FinMsg, RingAckMsg
+from .credits import CreditError, CreditManager
+from .eventqueue import ExsEvent, ExsEventQueue, ExsEventType
+from .flags import ExsSocketOptions, MsgFlags, SocketType
+from .socket import ExsError, ExsSocket, ExsStack
+from .stream_receiver import StreamReceiverHalf, UserRecv
+from .stream_sender import StreamSenderHalf, UserSend
+
+__all__ = [
+    "AdvertMsg",
+    "BlockingSocket",
+    "CreditError",
+    "CreditManager",
+    "CreditMsg",
+    "ExsConnection",
+    "ExsError",
+    "ExsEvent",
+    "ExsEventQueue",
+    "ExsEventType",
+    "ExsSocket",
+    "ExsSocketOptions",
+    "ExsStack",
+    "FinMsg",
+    "MsgFlags",
+    "RingAckMsg",
+    "SocketType",
+    "StreamReceiverHalf",
+    "StreamSenderHalf",
+    "UserRecv",
+    "UserSend",
+    "exs_accept",
+    "exs_bind_listen",
+    "exs_close",
+    "exs_connect",
+    "exs_mderegister",
+    "exs_mregister",
+    "exs_qcreate",
+    "exs_qdequeue",
+    "exs_recv",
+    "exs_send",
+    "exs_socket",
+]

@@ -1,0 +1,478 @@
+"""The EXS connection: resources, progress engine, and control plane.
+
+One :class:`ExsConnection` backs one connected EXS socket.  It owns the
+verbs resources (QP, CQ, completion channel, pre-posted receive pool), the
+two protocol halves (:class:`~repro.exs.stream_sender.StreamSenderHalf`,
+:class:`~repro.exs.stream_receiver.StreamReceiverHalf` — or their
+SOCK_SEQPACKET counterparts), the credit manager, and the **progress
+engine**: a single simulation process standing in for the EXS library
+thread that services this socket.
+
+The engine models the event-notification discipline the paper's
+experiments use: drain the CQ and all derived work while awake; arm the CQ
+and block on the completion channel (paying the OS wake-up latency) only
+when nothing is runnable.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import Any, Deque, Optional
+
+from ..core import ProtocolStats
+from ..core.invariants import require
+from ..hosts.host import Host
+from ..hosts.memory import Chunk
+from ..simnet import AnyOf, Signal, Simulator
+from ..verbs import (
+    SGE,
+    CompletionChannel,
+    CompletionQueue,
+    Opcode,
+    QueuePair,
+    RdmaDevice,
+    RecvWR,
+    SendWR,
+    WCOpcode,
+    WorkCompletion,
+)
+from .control import (
+    CTRL_WIRE_BYTES,
+    AdvertMsg,
+    ControlMsg,
+    CreditMsg,
+    DataNotifyMsg,
+    FinMsg,
+    IMM_DIRECT,
+    IMM_INDIRECT,
+    RingAckMsg,
+    decode_imm,
+)
+from .credits import CreditManager
+from .eventqueue import ExsEvent, ExsEventType
+from .flags import ExsSocketOptions, SocketType
+from .seqpacket import SeqPacketReceiverHalf, SeqPacketSenderHalf
+from .stream_receiver import StreamReceiverHalf
+from .stream_sender import StreamSenderHalf
+
+__all__ = ["ExsConnection"]
+
+#: size of each pre-posted receive buffer (large enough for any control msg)
+RECV_BUF_BYTES = 256
+
+
+class ExsConnection:
+    """Engine and state for one connected EXS socket."""
+
+    _ids = itertools.count(1)
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        device: RdmaDevice,
+        socket: Any,
+        options: ExsSocketOptions,
+        *,
+        channel_seed: int,
+        socket_type: SocketType = SocketType.SOCK_STREAM,
+    ) -> None:
+        self.sim = sim
+        self.host = host
+        self.device = device
+        self.socket = socket
+        self.options = options
+        self.conn_id = next(ExsConnection._ids)
+        self.costs = host.cpu.costs
+
+        if options.busy_poll:
+            # Busy polling: the progress thread spins on the CQ; a constant
+            # tiny delay stands in for the poll-loop iteration time, and the
+            # spin time itself is accounted as CPU burn in the engine loop.
+            from ..verbs.comp_channel import fixed_wakeup
+
+            wakeup = fixed_wakeup(100)
+        else:
+            wakeup = getattr(host, "wakeup_sampler", None)
+        self.channel: CompletionChannel = device.create_channel(
+            wakeup=wakeup, seed=channel_seed
+        )
+        self.cq: CompletionQueue = device.create_cq(self.channel)
+        self.qp: QueuePair = device.create_qp(self.cq, self.cq)
+
+        self.credits: Optional[CreditManager] = None  # set once hello exchanged
+        self._recv_pool_buf = host.alloc(RECV_BUF_BYTES, real=False, label=f"exs{self.conn_id}:ctrl")
+        self._recv_pool_mr = device.register(self._recv_pool_buf)
+
+        # statistics (tx = our sender half, rx = our receiver half)
+        self.tx_stats = ProtocolStats()
+        self.rx_stats = ProtocolStats()
+
+        self.socket_type = socket_type
+        if socket_type is SocketType.SOCK_STREAM:
+            # intermediate ring for data we RECEIVE
+            self.ring_buffer = host.alloc(
+                options.ring_capacity, real=options.real_data, label=f"exs{self.conn_id}:ring"
+            )
+            self.ring_mr = device.register(self.ring_buffer)
+            self.tx = StreamSenderHalf(self)
+            self.rx = StreamReceiverHalf(self, self.ring_buffer, self.ring_mr)
+        else:
+            self.ring_buffer = None
+            self.ring_mr = None
+            self.tx = SeqPacketSenderHalf(self)
+            self.rx = SeqPacketReceiverHalf(self)
+
+        self._ctrl_queue: Deque[ControlMsg] = deque()
+        #: optional ProtocolTracer (see repro.trace); set on the host
+        self.tracer = getattr(host, "tracer", None)
+        self._last_tx_phase = 0
+        self._last_rx_phase = 0
+        self._last_discarded = 0
+        self._wr_ids = itertools.count(1)
+        self._kick = Signal(sim)
+        self._engine = None
+        self.established = False
+        self.closing = False
+        self.close_event_posted = False
+        self._close_eq = None
+        self._close_context = None
+
+    # ------------------------------------------------------------------
+    # setup / handshake
+    # ------------------------------------------------------------------
+    def hello(self) -> dict:
+        """Private data advertised to the peer during connection setup."""
+        return {
+            "ring_addr": self.ring_mr.addr if self.ring_mr else 0,
+            "ring_rkey": self.ring_mr.rkey if self.ring_mr else 0,
+            "ring_capacity": self.ring_buffer.nbytes if self.ring_buffer else 0,
+            "credits": self.options.credits,
+            "mode": self.options.mode.value,
+            "socket_type": self.socket_type.value,
+        }
+
+    def post_initial_recvs(self) -> None:
+        """Pre-post the receive pool (paper §II-B: *n* RECVs at startup)."""
+        for _ in range(self.options.credits):
+            self._post_recv_wr()
+
+    def _post_recv_wr(self) -> None:
+        self.qp.post_recv(
+            RecvWR(
+                wr_id=self.next_wr_id(),
+                sge=SGE(self._recv_pool_mr.addr, RECV_BUF_BYTES, self._recv_pool_mr.lkey),
+            )
+        )
+
+    def on_peer_hello(self, peer: dict) -> None:
+        """Complete setup from the peer's hello and start the engine."""
+        if peer.get("mode") != self.options.mode.value:
+            raise ValueError(
+                f"protocol mode mismatch: local {self.options.mode.value!r}, "
+                f"peer {peer.get('mode')!r}"
+            )
+        if peer.get("socket_type") != self.socket_type.value:
+            raise ValueError(
+                f"socket type mismatch: local {self.socket_type.value!r}, "
+                f"peer {peer.get('socket_type')!r}"
+            )
+        self.credits = CreditManager(
+            initial_remote=int(peer["credits"]),
+            control_reserve=self.options.control_credit_reserve,
+        )
+        self.tx.configure_peer(
+            ring_addr=int(peer["ring_addr"]),
+            ring_rkey=int(peer["ring_rkey"]),
+            ring_capacity=int(peer["ring_capacity"]),
+        )
+        self.established = True
+        self._engine = self.sim.process(self._engine_loop(), name=f"exs{self.conn_id}-engine")
+        # An engine death is an implementation bug; surface it immediately
+        # instead of letting the simulation quietly deadlock.
+        self._engine.add_callback(self._on_engine_exit)
+
+    def _on_engine_exit(self, event) -> None:
+        if event.ok is False:
+            raise RuntimeError(
+                f"EXS engine for connection {self.conn_id} died"
+            ) from event._value
+
+    # ------------------------------------------------------------------
+    # small helpers
+    # ------------------------------------------------------------------
+    def next_wr_id(self) -> int:
+        return next(self._wr_ids)
+
+    def charge(self, ns: int):
+        """Charge *ns* of library CPU time (generator)."""
+        return self.host.cpu.work(ns)
+
+    def kick(self) -> None:
+        """Wake the engine (user posted work / external state change)."""
+        self._kick.fire()
+
+    def queue_control(self, msg: ControlMsg) -> None:
+        self._ctrl_queue.append(msg)
+
+    def trace(self, kind: str, **fields) -> None:
+        """Emit a protocol trace event (no-op unless a tracer is attached)."""
+        if self.tracer is not None:
+            self.tracer.emit(self.sim.now, self.conn_id, self.host.name, kind, **fields)
+
+    def _note_progress(self) -> None:
+        """Record phase transitions and ADVERT drops for tracing/diagnostics."""
+        tx_algo = getattr(self.tx, "algo", None)
+        if tx_algo is not None:
+            if tx_algo.phase != self._last_tx_phase:
+                self._last_tx_phase = tx_algo.phase
+                self.tx_stats.phase_trace.append((self.sim.now, tx_algo.phase))
+                self.trace("phase", side="tx", phase=tx_algo.phase)
+            d = self.tx_stats.adverts_discarded
+            if d != self._last_discarded:
+                self.trace("advert_drop", count=d - self._last_discarded)
+                self._last_discarded = d
+        rx_algo = getattr(self.rx, "algo", None)
+        if rx_algo is not None and rx_algo.phase != self._last_rx_phase:
+            self._last_rx_phase = rx_algo.phase
+            self.rx_stats.phase_trace.append((self.sim.now, rx_algo.phase))
+            self.trace("phase", side="rx", phase=rx_algo.phase)
+
+    # ------------------------------------------------------------------
+    # user operations (called by ExsSocket; asynchronous)
+    # ------------------------------------------------------------------
+    def user_send(self, buffer, mr, offset: int, nbytes: int, eq, context) -> None:
+        if self.options.sender_copy and self.socket_type is SocketType.SOCK_STREAM:
+            # SDP-BCopy / rsockets semantics: copy into a pre-registered
+            # library staging buffer on the application core, complete the
+            # user send immediately afterwards, and transmit from the copy.
+            self.sim.process(
+                self._staged_send(buffer, offset, nbytes, eq, context),
+                name=f"exs{self.conn_id}-stage",
+            )
+            return
+        self.tx.submit(buffer, mr, offset, nbytes, eq, context)
+        self.kick()
+
+    def _staged_send(self, buffer, offset: int, nbytes: int, eq, context):
+        yield from self.host.app_cpu.work(
+            self.costs.copy_ns(nbytes, self.host.copy_bandwidth_bps)
+        )
+        staging = self.host.alloc(nbytes, real=self.options.real_data and buffer.is_real,
+                                  label=f"exs{self.conn_id}:stage")
+        if staging.is_real:
+            data = buffer.read(offset, nbytes)
+            if data is not None:
+                staging.fill(data)
+        staging_mr = self.device.register(staging)
+        usend = self.tx.submit(staging, staging_mr, 0, nbytes, eq, context)
+        usend.notify_completion = False
+        # TCP-style semantics: the user's buffer is free as soon as the
+        # copy is done; completion is delivered now.
+        eq.post(ExsEvent(kind=ExsEventType.SEND, socket=self.socket,
+                         nbytes=nbytes, context=context))
+        self.kick()
+
+    def user_recv(self, urecv) -> None:
+        advert = self.rx.submit(urecv)
+        if advert is not None:
+            self.queue_control(advert)
+        self.kick()
+
+    def user_close(self, eq, context) -> None:
+        """Graceful close: FIN after all pending sends drain."""
+        self.closing = True
+        self._close_eq = eq
+        self._close_context = context
+        self.kick()
+
+    # ------------------------------------------------------------------
+    # the progress engine
+    # ------------------------------------------------------------------
+    def _engine_loop(self):
+        while True:
+            progressed = True
+            while progressed:
+                progressed = False
+                wcs = self.cq.poll()
+                for wc in wcs:
+                    yield from self._handle_wc(wc)
+                if wcs:
+                    progressed = True
+                # one copy at a time so completions interleave realistically
+                plan = self.rx.next_copy()
+                if plan is not None:
+                    yield from self.rx.execute_copy(plan)
+                    progressed = True
+                # re-advertise queued receives once the gate opens
+                for advert_msg in self.rx.flush_adverts():
+                    self.queue_control(advert_msg)
+                    progressed = True
+                sent = yield from self.tx.pump()
+                progressed = bool(sent) or progressed
+                progressed = self._pump_close() or progressed
+                ctrl = yield from self._pump_control()
+                progressed = ctrl or progressed
+                progressed = self.rx.pump_eof() or progressed
+                if self.tracer is not None:
+                    self._note_progress()
+            # idle: arm and sleep (or spin, under busy_poll)
+            self.cq.req_notify()
+            if len(self.cq):
+                continue
+            idle_start = self.sim.now
+            yield AnyOf(self.sim, [self.channel.wait(), self._kick.wait()])
+            if self.options.busy_poll:
+                # the poll loop burned the library core the whole time
+                self.host.cpu.record_busy(idle_start, self.sim.now)
+
+    # -- completion dispatch ---------------------------------------------
+    def _handle_wc(self, wc: WorkCompletion):
+        if not wc.ok:
+            raise RuntimeError(f"EXS connection {self.conn_id}: completion error {wc.status}")
+        if wc.opcode is WCOpcode.RECV_RDMA_WITH_IMM:
+            yield from self._handle_data_arrival(wc)
+        elif wc.opcode is WCOpcode.RECV:
+            yield from self._handle_control_arrival(wc)
+        elif wc.opcode is WCOpcode.RDMA_WRITE:
+            # one of our WWIs was acknowledged by the transport
+            yield from self.charge(self.costs.completion_ns)
+            kind, usend, nbytes = wc.context
+            require(kind == "data", "wc dispatch", "unexpected send-completion context")
+            self.tx.on_data_acked(usend, nbytes)
+        elif wc.opcode is WCOpcode.SEND:
+            # control message send completion
+            yield from self.charge(self.costs.completion_ns)
+            if isinstance(wc.context, tuple) and wc.context and wc.context[0] == "fin":
+                self.tx.fin_acked = True
+        else:  # pragma: no cover - defensive
+            raise RuntimeError(f"unexpected completion opcode {wc.opcode}")
+
+    def _handle_data_arrival(self, wc: WorkCompletion):
+        yield from self.charge(self.costs.completion_ns)
+        self._recycle_recv()
+        kind, advert_id = decode_imm(wc.imm_data)
+        chunk: Chunk = wc.meta["chunk"]
+        remote_addr: int = wc.meta["remote_addr"]
+        if kind == IMM_DIRECT:
+            self.rx.on_direct_arrival(advert_id, wc.byte_len, chunk.stream_offset, remote_addr)
+        elif kind == IMM_INDIRECT:
+            self.rx.on_indirect_arrival(wc.byte_len, chunk.stream_offset, remote_addr)
+        else:  # pragma: no cover - defensive
+            raise RuntimeError(f"bad immediate {wc.imm_data:#x}")
+
+    def _handle_control_arrival(self, wc: WorkCompletion):
+        chunk: Chunk = wc.meta["chunk"]
+        msg = chunk.obj
+        # Dispatching a data notification does the same work as a WWI
+        # receive completion; other control messages are lighter.
+        cost = self.costs.completion_ns if isinstance(msg, DataNotifyMsg) else self.costs.control_ns
+        yield from self.charge(cost)
+        self._recycle_recv()
+        if self.credits is not None and hasattr(msg, "credit_cum"):
+            self.credits.on_peer_grant(msg.credit_cum)
+        if isinstance(msg, AdvertMsg):
+            self.trace("advert_rx", seq=msg.advert.seq, phase=msg.advert.phase)
+            self.tx.on_advert(msg.advert)
+        elif isinstance(msg, DataNotifyMsg):
+            # iWARP emulation: this SEND notifies of an RDMA WRITE that the
+            # transport already placed (same QP, in order).
+            kind, advert_id = decode_imm(msg.imm_data)
+            if kind == IMM_DIRECT:
+                self.rx.on_direct_arrival(advert_id, msg.nbytes, msg.stream_offset, msg.remote_addr)
+            elif kind == IMM_INDIRECT:
+                self.rx.on_indirect_arrival(msg.nbytes, msg.stream_offset, msg.remote_addr)
+            else:  # pragma: no cover - defensive
+                raise RuntimeError(f"bad notify immediate {msg.imm_data:#x}")
+        elif isinstance(msg, RingAckMsg):
+            self.tx.on_ring_ack(msg.copied_cum)
+        elif isinstance(msg, CreditMsg):
+            self.credits.on_peer_grant(msg.credit_cum)
+        elif isinstance(msg, FinMsg):
+            self.rx.on_fin(msg.final_seq)
+        else:  # pragma: no cover - defensive
+            raise RuntimeError(f"unknown control message {msg!r}")
+
+    def _recycle_recv(self) -> None:
+        """Repost the consumed RECV and account the credit to grant back."""
+        self._post_recv_wr()
+        if self.credits is not None:
+            self.credits.on_local_repost()
+
+    # -- control-plane transmit -------------------------------------------
+    def _pump_control(self):
+        progressed = False
+        while self._ctrl_queue and self.credits.can_send_control():
+            msg = self._ctrl_queue.popleft()
+            yield from self.charge(self.costs.send_control_ns)
+            self._post_control(msg)
+            progressed = True
+        # explicit credit return when there is no other outbound traffic
+        if (
+            not self._ctrl_queue
+            and self.credits is not None
+            and self.credits.ungranted() >= self.options.effective_credit_update_threshold()
+            and self.credits.can_send_control()
+        ):
+            yield from self.charge(self.costs.send_control_ns)
+            self._post_control(CreditMsg(credit_cum=0))
+            progressed = True
+        return progressed
+
+    def _post_control(self, msg: ControlMsg) -> None:
+        if self.tracer is not None:
+            if isinstance(msg, AdvertMsg):
+                self.trace("advert_tx", seq=msg.advert.seq, phase=msg.advert.phase,
+                           nbytes=msg.advert.length)
+            elif isinstance(msg, RingAckMsg):
+                self.trace("ring_ack", copied=msg.copied_cum)
+            elif isinstance(msg, FinMsg):
+                self.trace("fin", seq=msg.final_seq)
+        grant = self.credits.grant_now()
+        if not isinstance(msg, CreditMsg):
+            msg = replace(msg, credit_cum=grant)
+        else:
+            msg = CreditMsg(credit_cum=grant)
+        context = ("ctrl", msg)
+        if isinstance(msg, FinMsg):
+            context = ("fin", msg)
+        self.credits.consume(1)
+        self.qp.post_send(
+            SendWR(
+                opcode=Opcode.SEND,
+                wr_id=self.next_wr_id(),
+                sge=SGE(self._recv_pool_mr.addr, CTRL_WIRE_BYTES, self._recv_pool_mr.lkey),
+                payload=Chunk(0, CTRL_WIRE_BYTES, None, obj=msg),
+                context=context,
+            )
+        )
+
+    # -- close handling -----------------------------------------------------
+    def _pump_close(self) -> bool:
+        if not self.closing or self.tx.fin_sent:
+            self._maybe_post_close_event()
+            return False
+        if not self.tx.drained:
+            return False
+        self.queue_control(FinMsg(final_seq=self.tx.final_seq))
+        self.tx.fin_sent = True
+        return True
+
+    def _maybe_post_close_event(self) -> None:
+        if (
+            self.closing
+            and self.tx.fin_sent
+            and self.tx.fin_acked
+            and not self.close_event_posted
+            and self._close_eq is not None
+        ):
+            self.close_event_posted = True
+            self._close_eq.post(
+                ExsEvent(
+                    kind=ExsEventType.CLOSE,
+                    socket=self.socket,
+                    context=self._close_context,
+                )
+            )

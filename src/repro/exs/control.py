@@ -1,0 +1,107 @@
+"""EXS control-plane messages and immediate-data encoding.
+
+Control messages travel as small verbs ``SEND``\\ s (consuming one credit
+each); data travels as ``RDMA WRITE WITH IMM``.  The 32-bit immediate value
+distinguishes direct from indirect data transfers and carries the ADVERT
+identifier for direct ones — mirroring how the real library must tag
+transfers within the hardware's 32-bit immediate field.
+
+Every control message piggybacks the receiver's cumulative recv-repost
+counter, which is how send credits flow back (see
+:mod:`repro.exs.credits`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from ..core.advert import Advert
+
+__all__ = [
+    "CTRL_WIRE_BYTES",
+    "AdvertMsg",
+    "DataNotifyMsg",
+    "RingAckMsg",
+    "CreditMsg",
+    "FinMsg",
+    "ControlMsg",
+    "IMM_DIRECT",
+    "IMM_INDIRECT",
+    "encode_direct_imm",
+    "encode_indirect_imm",
+    "decode_imm",
+]
+
+#: payload size charged on the wire for any control message
+CTRL_WIRE_BYTES = 48
+
+# --- immediate-data encoding (32 bits, as on real hardware) ---------------
+IMM_DIRECT = 0x1
+IMM_INDIRECT = 0x2
+_TYPE_SHIFT = 28
+_ID_MASK = (1 << _TYPE_SHIFT) - 1
+
+
+def encode_direct_imm(advert_id: int) -> int:
+    """Immediate value for a direct transfer matching *advert_id*."""
+    return (IMM_DIRECT << _TYPE_SHIFT) | (advert_id & _ID_MASK)
+
+
+def encode_indirect_imm() -> int:
+    """Immediate value for an indirect (intermediate-buffer) transfer."""
+    return IMM_INDIRECT << _TYPE_SHIFT
+
+
+def decode_imm(imm: int) -> tuple[int, int]:
+    """Return ``(type, advert_id)`` from an immediate value."""
+    return imm >> _TYPE_SHIFT, imm & _ID_MASK
+
+
+# --- control messages ------------------------------------------------------
+@dataclass(frozen=True)
+class AdvertMsg:
+    """Receiver -> sender: one user-buffer advertisement (paper §II-C)."""
+
+    advert: Advert
+    credit_cum: int = 0
+
+
+@dataclass(frozen=True)
+class RingAckMsg:
+    """Receiver -> sender: cumulative bytes copied out of the ring."""
+
+    copied_cum: int
+    credit_cum: int = 0
+
+
+@dataclass(frozen=True)
+class CreditMsg:
+    """Receiver -> sender: standalone credit grant (no other traffic)."""
+
+    credit_cum: int
+
+
+@dataclass(frozen=True)
+class DataNotifyMsg:
+    """Sender -> receiver: iWARP-emulation notification following an RDMA
+    WRITE (paper §II-B: WWI "can be simulated on older iWARP hardware by
+    following an RDMA WRITE with a small SEND").  Carries what the
+    immediate value would have."""
+
+    imm_data: int
+    nbytes: int
+    stream_offset: int
+    remote_addr: int
+    credit_cum: int = 0
+
+
+@dataclass(frozen=True)
+class FinMsg:
+    """Sender -> receiver: graceful end of stream after *final_seq* bytes."""
+
+    final_seq: int
+    credit_cum: int = 0
+
+
+ControlMsg = Union[AdvertMsg, RingAckMsg, CreditMsg, FinMsg, DataNotifyMsg]

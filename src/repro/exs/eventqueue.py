@@ -1,0 +1,106 @@
+"""EXS event queues.
+
+Almost every EXS call is asynchronous (paper §II-B): the library queues the
+request and returns immediately; when the operation completes, an event is
+placed on an event queue previously created by the user with
+``exs_qcreate()``, and the user retrieves it with ``exs_qdequeue()``.
+
+In the simulation, ``exs_qdequeue`` returns a kernel event to ``yield`` on.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from ..simnet import Event, Simulator, Store
+
+__all__ = ["ExsEventType", "ExsEvent", "ExsEventQueue"]
+
+
+class ExsEventType(enum.Enum):
+    """What completed."""
+
+    CONNECT = "connect"
+    ACCEPT = "accept"
+    SEND = "send"
+    RECV = "recv"
+    CLOSE = "close"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class ExsEvent:
+    """One completion delivered to the application."""
+
+    kind: ExsEventType
+    socket: Any
+    #: bytes transferred (sends: full request; recvs: possibly fewer)
+    nbytes: int = 0
+    #: True when a recv completed at end-of-stream with no data
+    eof: bool = False
+    #: True when a SOCK_SEQPACKET message was cut to fit the receive buffer
+    truncated: bool = False
+    #: user context passed to the originating call
+    context: Any = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class ExsEventQueue:
+    """Created by ``exs_qcreate()``; the application's completion mailbox.
+
+    When the application is actually *blocked* in ``exs_qdequeue`` (the
+    queue was empty), delivery pays an OS wake-up latency drawn from
+    ``wakeup`` — the application-thread twin of the completion-channel
+    wake-up (see :mod:`repro.verbs.comp_channel`).  An application that
+    finds events already queued pays nothing, which models the natural
+    batching of a busy event loop.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        depth: int = 4096,
+        wakeup: Optional[Callable[[random.Random], float]] = None,
+        seed: int = 0,
+    ) -> None:
+        self.sim = sim
+        self.depth = depth
+        self._store = Store(sim)
+        self.delivered = 0
+        self.wakeup = wakeup
+        self._rng = random.Random(seed)
+        self.slept_wakeups = 0
+
+    def post(self, event: ExsEvent) -> None:
+        """Library side: deliver a completion."""
+        if len(self._store) >= self.depth:
+            raise RuntimeError("EXS event queue overflow (application not dequeueing)")
+        self.delivered += 1
+        self._store.put(event)
+
+    def dequeue(self) -> Event:
+        """``exs_qdequeue()``: event firing with the next :class:`ExsEvent`."""
+        ev = self._store.get()
+        if ev.triggered or self.wakeup is None:
+            return ev
+        # The caller is about to sleep; charge the wake-up on delivery.
+        self.slept_wakeups += 1
+        outer = Event(self.sim)
+        ev.add_callback(
+            lambda e: outer.succeed(e._value, delay=int(round(self.wakeup(self._rng))))
+        )
+        return outer
+
+    def try_dequeue(self) -> Optional[ExsEvent]:
+        """Non-blocking poll."""
+        return self._store.try_get()
+
+    def __len__(self) -> int:
+        return len(self._store)

@@ -1,0 +1,15 @@
+"""Host machine models: CPU cost accounting and simulated memory."""
+
+from .cpu import Cpu, CpuCostModel
+from .host import Host
+from .memory import Buffer, Chunk, MemoryArena, MemoryError_
+
+__all__ = [
+    "Buffer",
+    "Chunk",
+    "Cpu",
+    "CpuCostModel",
+    "Host",
+    "MemoryArena",
+    "MemoryError_",
+]

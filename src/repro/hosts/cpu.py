@@ -1,0 +1,123 @@
+"""Host CPU model: serialized execution with busy-time accounting.
+
+The paper's receiver-side CPU usage (its Fig. 10) comes from one effect: in
+indirect mode the EXS library thread spends its time ``memcpy``-ing data out
+of the intermediate buffer, while in direct mode the HCA places data without
+CPU involvement and the thread only handles completion events.
+
+:class:`Cpu` models the *library/application core* of a host: a capacity-1
+FIFO resource.  Work items occupy the core for a duration given by the
+:class:`CpuCostModel` and the busy time is accumulated, from which
+utilisation over a measurement window is computed exactly (partial overlap
+of a work interval with the window is accounted for).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, List, Tuple
+
+from ..simnet import Event, Resource, Simulator
+
+__all__ = ["Cpu", "CpuCostModel"]
+
+
+@dataclass(frozen=True)
+class CpuCostModel:
+    """Per-operation CPU costs (nanoseconds) for the EXS software path.
+
+    These constants are *calibration knobs* of the simulation; the defaults
+    were chosen so that FDR-InfiniBand-profile runs land in the paper's
+    reported ranges (see ``repro.bench.profiles``).
+    """
+
+    #: cost to post one send/recv work request (driver + doorbell)
+    post_wr_ns: int = 200
+    #: cost to reap and dispatch one completion-queue entry
+    completion_ns: int = 350
+    #: cost to process one incoming control message (ADVERT/ACK)
+    control_ns: int = 250
+    #: cost to build and post one outgoing control message
+    send_control_ns: int = 300
+    #: application-level cost to handle one event-queue completion and repost
+    app_repost_ns: int = 500
+    #: fixed per-copy overhead added to the byte-rate cost of a memcpy
+    copy_setup_ns: int = 150
+
+    def copy_ns(self, nbytes: int, copy_bandwidth_bps: float) -> int:
+        """Duration of a memcpy of *nbytes* at the host's copy bandwidth."""
+        if nbytes <= 0:
+            return self.copy_setup_ns
+        return self.copy_setup_ns + int(round(nbytes * 8 * 1e9 / copy_bandwidth_bps))
+
+
+class Cpu:
+    """Single-core FIFO CPU with exact busy-time accounting."""
+
+    def __init__(self, sim: Simulator, costs: CpuCostModel | None = None) -> None:
+        self.sim = sim
+        self.costs = costs or CpuCostModel()
+        self._core = Resource(sim, capacity=1)
+        #: closed work intervals [(start, end)], merged lazily
+        self._intervals: List[Tuple[int, int]] = []
+        self._busy_ns_total = 0
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def work(self, duration_ns: int) -> Generator[Event, Any, None]:
+        """Sub-process: occupy the core for *duration_ns* and account it.
+
+        Usage: ``yield from cpu.work(ns)`` from inside a simulation process.
+        """
+        if duration_ns < 0:
+            raise ValueError("negative CPU work")
+        req = self._core.request()
+        yield req
+        start = self.sim.now
+        try:
+            if duration_ns:
+                yield self.sim.timeout(duration_ns)
+        finally:
+            end = self.sim.now
+            self._record(start, end)
+            self._core.release(req)
+
+    def _record(self, start: int, end: int) -> None:
+        if end > start:
+            self._intervals.append((start, end))
+            self._busy_ns_total += end - start
+
+    def record_busy(self, start: int, end: int) -> None:
+        """Account busy time that did not go through :meth:`work` (e.g. a
+        thread spinning in a busy-poll loop)."""
+        self._record(start, end)
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    @property
+    def busy_ns_total(self) -> int:
+        return self._busy_ns_total
+
+    def busy_ns_between(self, start: int, end: int) -> int:
+        """Busy nanoseconds overlapping the window ``[start, end]``."""
+        if end <= start:
+            return 0
+        total = 0
+        for s, e in self._intervals:
+            lo = max(s, start)
+            hi = min(e, end)
+            if hi > lo:
+                total += hi - lo
+        return total
+
+    def utilization_between(self, start: int, end: int) -> float:
+        """Fraction of ``[start, end]`` the core was busy (0.0–1.0)."""
+        if end <= start:
+            return 0.0
+        return self.busy_ns_between(start, end) / (end - start)
+
+    @property
+    def queue_length(self) -> int:
+        return self._core.queue_length

@@ -1,0 +1,156 @@
+"""Simulated host memory: buffers, registration arena, and payload chunks.
+
+Data transfers in the simulator can run in two modes:
+
+* **real-bytes mode** — buffers carry a ``bytearray`` and transfers move
+  actual bytes (used by the test suite to verify stream integrity end to
+  end).  The data path slices with ``memoryview`` so no intermediate copies
+  are made in the *Python* process — mirroring the zero-copy discipline of
+  the system being modelled.
+* **synthetic mode** — buffers carry no bytes, only lengths; transfers move
+  :class:`Chunk` records tagged with their position in the byte stream.  The
+  receiving side still checks stream continuity, so protocol-safety checking
+  stays on even in the large benchmark runs, at negligible cost.
+
+Virtual addresses are fake but unique per :class:`MemoryArena`, so RDMA-style
+(addr, rkey) addressing behaves realistically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+__all__ = ["Buffer", "Chunk", "MemoryArena", "MemoryError_"]
+
+
+class MemoryError_(RuntimeError):
+    """Out-of-bounds access or misuse of a simulated buffer."""
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """A contiguous piece of a byte stream travelling on the wire.
+
+    ``stream_offset`` is the position of the first byte within the sender's
+    byte stream (the paper's *sequence number* of the transfer); ``data`` is
+    ``None`` in synthetic mode.  ``obj`` optionally carries a structured
+    model payload (EXS control messages) that a real system would serialise
+    into the bytes; the wire is still charged ``nbytes``.
+    """
+
+    stream_offset: int
+    nbytes: int
+    data: Optional[bytes] = None
+    obj: Any = None
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise MemoryError_("negative chunk length")
+        if self.data is not None and len(self.data) != self.nbytes:
+            raise MemoryError_("chunk data length mismatch")
+
+    @property
+    def end_offset(self) -> int:
+        return self.stream_offset + self.nbytes
+
+    def split(self, nbytes: int) -> tuple["Chunk", "Chunk"]:
+        """Split into a head of *nbytes* and the remaining tail."""
+        if not (0 <= nbytes <= self.nbytes):
+            raise MemoryError_(f"bad split {nbytes} of {self.nbytes}")
+        head_data = tail_data = None
+        if self.data is not None:
+            head_data = self.data[:nbytes]
+            tail_data = self.data[nbytes:]
+        head = Chunk(self.stream_offset, nbytes, head_data)
+        tail = Chunk(self.stream_offset + nbytes, self.nbytes - nbytes, tail_data)
+        return head, tail
+
+
+class Buffer:
+    """A simulated user/library memory area.
+
+    Buffers are created through :meth:`MemoryArena.alloc`, which assigns a
+    unique fake virtual address.
+    """
+
+    __slots__ = ("arena", "addr", "nbytes", "data", "label")
+
+    def __init__(self, arena: "MemoryArena", addr: int, nbytes: int, real: bool, label: str) -> None:
+        self.arena = arena
+        self.addr = addr
+        self.nbytes = nbytes
+        self.data: Optional[bytearray] = bytearray(nbytes) if real else None
+        self.label = label
+
+    @property
+    def is_real(self) -> bool:
+        return self.data is not None
+
+    def check_range(self, offset: int, nbytes: int) -> None:
+        if offset < 0 or nbytes < 0 or offset + nbytes > self.nbytes:
+            raise MemoryError_(
+                f"access [{offset}, {offset + nbytes}) outside buffer {self.label!r} "
+                f"of {self.nbytes} bytes"
+            )
+
+    def write(self, offset: int, payload: bytes | bytearray | memoryview) -> None:
+        """Write real bytes at *offset* (no-op on synthetic buffers)."""
+        self.check_range(offset, len(payload))
+        if self.data is not None:
+            self.data[offset : offset + len(payload)] = payload
+
+    def write_chunk(self, offset: int, chunk: Chunk) -> None:
+        """Place a wire chunk into this buffer at *offset*."""
+        self.check_range(offset, chunk.nbytes)
+        if self.data is not None and chunk.data is not None:
+            self.data[offset : offset + chunk.nbytes] = chunk.data
+
+    def read(self, offset: int, nbytes: int) -> Optional[bytes]:
+        """Return real bytes (or None for synthetic buffers)."""
+        self.check_range(offset, nbytes)
+        if self.data is None:
+            return None
+        return bytes(self.data[offset : offset + nbytes])
+
+    def view(self, offset: int, nbytes: int) -> Optional[memoryview]:
+        """Zero-copy view of a range (None for synthetic buffers)."""
+        self.check_range(offset, nbytes)
+        if self.data is None:
+            return None
+        return memoryview(self.data)[offset : offset + nbytes]
+
+    def fill(self, payload: bytes) -> None:
+        """Convenience: write *payload* at offset 0."""
+        self.write(0, payload)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "real" if self.is_real else "synthetic"
+        return f"<Buffer {self.label!r} addr=0x{self.addr:x} {self.nbytes}B {kind}>"
+
+
+class MemoryArena:
+    """Allocator of simulated buffers with unique fake virtual addresses."""
+
+    #: page-ish alignment for fake addresses, for realistic-looking traces
+    ALIGN = 4096
+
+    def __init__(self, base_addr: int = 0x10_0000_0000) -> None:
+        self._next_addr = base_addr
+        self.allocated_bytes = 0
+        self.buffer_count = 0
+
+    def alloc(self, nbytes: int, *, real: bool = True, label: str = "") -> Buffer:
+        """Allocate a buffer of *nbytes* bytes.
+
+        ``real=False`` creates a synthetic (length-only) buffer for large
+        benchmark runs.
+        """
+        if nbytes < 0:
+            raise MemoryError_("negative allocation")
+        addr = self._next_addr
+        span = ((nbytes + self.ALIGN - 1) // self.ALIGN + 1) * self.ALIGN
+        self._next_addr += span
+        self.allocated_bytes += nbytes
+        self.buffer_count += 1
+        return Buffer(self, addr, nbytes, real, label or f"buf{self.buffer_count}")

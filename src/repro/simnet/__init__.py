@@ -1,0 +1,41 @@
+"""Discrete-event simulation kernel and network substrate.
+
+This subpackage is self-contained (no dependency on the RDMA layers above
+it) and provides:
+
+* :class:`~repro.simnet.kernel.Simulator` — the event calendar / clock.
+* :class:`~repro.simnet.events.Event`, :class:`~repro.simnet.events.Timeout`,
+  :class:`~repro.simnet.events.Signal`, :class:`~repro.simnet.events.AllOf`,
+  :class:`~repro.simnet.events.AnyOf` — synchronisation primitives.
+* :class:`~repro.simnet.process.Process` — generator-based processes.
+* :class:`~repro.simnet.resources.Resource` / :class:`~repro.simnet.resources.Store`.
+* :class:`~repro.simnet.link.Link` — serialized full-duplex link model.
+* :class:`~repro.simnet.emulator.DelayEmulator` — Anue-style WAN delay/jitter.
+"""
+
+from .emulator import DelayEmulator, gaussian_jitter, uniform_jitter
+from .events import AllOf, AnyOf, Event, Signal, Timeout
+from .kernel import SimulationError, Simulator
+from .link import Link, LinkDirection, LinkStats
+from .process import Interrupt, Process
+from .resources import Resource, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "DelayEmulator",
+    "Event",
+    "Interrupt",
+    "Link",
+    "LinkDirection",
+    "LinkStats",
+    "Process",
+    "Resource",
+    "Signal",
+    "SimulationError",
+    "Simulator",
+    "Store",
+    "Timeout",
+    "gaussian_jitter",
+    "uniform_jitter",
+]

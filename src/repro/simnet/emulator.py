@@ -1,0 +1,77 @@
+"""Network delay emulator (software Anue).
+
+The paper's over-distance experiments used an Anue hardware network emulator
+to add a fixed 48 ms round-trip delay on a 10 GbE path; its future work
+section proposes adding a *jitter function*.  :class:`DelayEmulator` models
+both: a fixed one-way base delay plus an optional pluggable jitter sampler.
+
+Jitter is sampled from a seeded RNG so runs remain reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+__all__ = ["DelayEmulator", "uniform_jitter", "gaussian_jitter"]
+
+JitterFn = Callable[[random.Random], float]
+
+
+def uniform_jitter(spread_ns: int) -> JitterFn:
+    """Jitter uniform in ``[0, spread_ns]``."""
+
+    def sample(rng: random.Random) -> float:
+        return rng.uniform(0.0, float(spread_ns))
+
+    return sample
+
+
+def gaussian_jitter(mean_ns: int, sigma_ns: int) -> JitterFn:
+    """Non-negative Gaussian jitter with the given mean/sigma."""
+
+    def sample(rng: random.Random) -> float:
+        return max(0.0, rng.gauss(float(mean_ns), float(sigma_ns)))
+
+    return sample
+
+
+class DelayEmulator:
+    """Adds delay (and optional jitter) to every message on a link.
+
+    Parameters
+    ----------
+    base_delay_ns:
+        Fixed extra one-way delay.  The paper's WAN setup used a 48 ms RTT,
+        i.e. ``base_delay_ns = 24_000_000`` per direction.
+    jitter:
+        Optional callable ``jitter(rng) -> float`` returning extra ns per
+        message.
+    seed:
+        RNG seed for the jitter sampler.
+    """
+
+    def __init__(
+        self,
+        base_delay_ns: int,
+        jitter: Optional[JitterFn] = None,
+        seed: int = 0,
+    ) -> None:
+        if base_delay_ns < 0:
+            raise ValueError("base delay must be >= 0")
+        self.base_delay_ns = int(base_delay_ns)
+        self.jitter = jitter
+        self._rng = random.Random(seed)
+        #: number of samples drawn (diagnostics)
+        self.samples = 0
+
+    @classmethod
+    def from_rtt(cls, rtt_ns: int, **kw: object) -> "DelayEmulator":
+        """Build an emulator adding ``rtt_ns`` of round-trip delay."""
+        return cls(rtt_ns // 2, **kw)  # type: ignore[arg-type]
+
+    def sample_ns(self) -> int:
+        """Delay to add to the next message (base + jitter draw)."""
+        self.samples += 1
+        extra = self.jitter(self._rng) if self.jitter is not None else 0.0
+        return self.base_delay_ns + int(round(extra))

@@ -1,0 +1,228 @@
+"""Event primitives for the simulation kernel.
+
+An :class:`Event` is the unit of synchronisation: processes yield events and
+are resumed when the event *triggers* (succeeds or fails).  The classes here
+mirror a small, well-understood subset of the SimPy event model:
+
+* :class:`Event` — manually triggered one-shot event.
+* :class:`Timeout` — fires a fixed delay after creation.
+* :class:`AllOf` / :class:`AnyOf` — composite conditions.
+* :class:`Signal` — a *reusable* condition-variable-like object; each call to
+  :meth:`Signal.wait` returns a fresh one-shot event.
+
+Events carry a value (delivered to waiters) or an exception (re-raised in
+waiting processes).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence
+
+from .kernel import SimulationError, Simulator
+
+__all__ = ["Event", "Timeout", "AllOf", "AnyOf", "Signal"]
+
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence inside the simulation.
+
+    Lifecycle: *untriggered* → (``succeed``/``fail``) → scheduled on the
+    calendar → *processed* (callbacks run).  An event may only be triggered
+    once.
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        self._scheduled = False
+
+    # -- state ----------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value/exception (it may not have fired yet)."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> Optional[bool]:
+        """True if succeeded, False if failed, None if untriggered."""
+        return self._ok
+
+    def result(self) -> Any:
+        """Return the event's value, raising its exception if it failed."""
+        if not self.triggered:
+            raise SimulationError("event has not triggered yet")
+        if not self._ok:
+            raise self._value
+        return self._value
+
+    # -- triggering -----------------------------------------------------
+    def succeed(self, value: Any = None, delay: int = 0) -> "Event":
+        """Trigger the event successfully with *value* after *delay* ns."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self._value = value
+        self._ok = True
+        self.sim.schedule(self, delay)
+        return self
+
+    def fail(self, exc: BaseException, delay: int = 0) -> "Event":
+        """Trigger the event with an exception after *delay* ns."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exc, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._value = exc
+        self._ok = False
+        self.sim.schedule(self, delay)
+        return self
+
+    # -- callbacks ------------------------------------------------------
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run ``fn(event)`` when the event fires (immediately if already fired)."""
+        if self.callbacks is None:
+            # Already processed: schedule an immediate call so that ordering
+            # stays calendar-driven.
+            relay = Event(self.sim)
+            relay.callbacks.append(lambda _e: fn(self))
+            relay._value = None
+            relay._ok = True
+            self.sim.schedule(relay, 0)
+        else:
+            self.callbacks.append(fn)
+
+    def _run(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        if callbacks:
+            for fn in callbacks:
+                fn(self)
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` nanoseconds after creation."""
+
+    def __init__(self, sim: Simulator, delay: int, value: Any = None) -> None:
+        super().__init__(sim)
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        self.delay = delay
+        self._value = value
+        self._ok = True
+        sim.schedule(self, delay)
+
+
+class _Condition(Event):
+    """Base class for :class:`AllOf` / :class:`AnyOf`.
+
+    A child counts as *done* only once it has been **processed** (its
+    callbacks ran) — a :class:`Timeout` holds its value from creation but
+    has not *occurred* until the calendar reaches it.
+    """
+
+    def __init__(self, sim: Simulator, events: Sequence[Event]) -> None:
+        super().__init__(sim)
+        self.events = list(events)
+        for ev in self.events:
+            if ev.sim is not sim:
+                raise SimulationError("condition mixes events from different simulators")
+        self._validate()
+        for ev in self.events:
+            # add_callback handles already-processed children by scheduling
+            # an immediate relay, preserving calendar-driven ordering.
+            ev.add_callback(self._on_child)
+        self._check(initial=True)
+
+    def _on_child(self, ev: Event) -> None:
+        if not self.triggered:
+            self._check(initial=False, child=ev)
+
+    def _validate(self) -> None:
+        pass
+
+    def _check(self, initial: bool, child: Optional[Event] = None) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Triggers when *all* child events have succeeded (fails fast on error).
+
+    The value is a list of child values in the original order.
+    """
+
+    def _check(self, initial: bool, child: Optional[Event] = None) -> None:
+        if self.triggered:
+            return
+        if child is not None and child.ok is False:
+            self.fail(child._value)
+            return
+        if all(e.processed and e.ok for e in self.events) or not self.events:
+            self.succeed([e._value for e in self.events])
+
+
+class AnyOf(_Condition):
+    """Triggers when *any* child event occurs; value is ``(index, value)``."""
+
+    def _validate(self) -> None:
+        if not self.events:
+            raise SimulationError("AnyOf of zero events would never trigger")
+
+    def _check(self, initial: bool, child: Optional[Event] = None) -> None:
+        if self.triggered or child is None:
+            return
+        if child.ok is False:
+            self.fail(child._value)
+        else:
+            self.succeed((self.events.index(child), child._value))
+
+
+class Signal:
+    """A reusable wake-up channel (condition variable).
+
+    Unlike :class:`Event`, a ``Signal`` can be fired many times.  Each call
+    to :meth:`wait` returns a one-shot event tied to the *next* firing.
+    :meth:`fire` wakes every current waiter.  Extra ``fire`` calls with no
+    waiters set a *latch* so that the next waiter returns immediately —
+    this models the "kick the engine, it will notice work" pattern used by
+    the EXS progress engines and avoids lost wake-ups.
+    """
+
+    def __init__(self, sim: Simulator, *, latching: bool = True) -> None:
+        self.sim = sim
+        self._waiters: List[Event] = []
+        self._latched = False
+        self._latching = latching
+        #: total number of fire() calls, for tests/diagnostics
+        self.fired_count = 0
+
+    def wait(self) -> Event:
+        """Return an event that fires at the next :meth:`fire` call."""
+        ev = Event(self.sim)
+        if self._latched:
+            self._latched = False
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def fire(self, value: Any = None) -> None:
+        """Wake all waiters (or latch if there are none)."""
+        self.fired_count += 1
+        if not self._waiters:
+            if self._latching:
+                self._latched = True
+            return
+        waiters, self._waiters = self._waiters, []
+        for ev in waiters:
+            ev.succeed(value)
+
+    @property
+    def waiter_count(self) -> int:
+        return len(self._waiters)

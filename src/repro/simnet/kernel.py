@@ -1,0 +1,183 @@
+"""Discrete-event simulation kernel.
+
+The kernel keeps simulated time as an **integer number of nanoseconds** so
+that event ordering is exact and runs are bit-for-bit reproducible.  The
+design follows the classic event-calendar pattern (as popularised by SimPy):
+
+* :class:`Simulator` owns the event calendar (a binary heap) and the clock.
+* :class:`~repro.simnet.events.Event` objects are placed on the calendar and
+  invoke their callbacks when they fire.
+* :class:`~repro.simnet.process.Process` wraps a Python generator; the
+  generator ``yield``\\ s events and is resumed when they trigger, which gives
+  cooperative "threads" inside the simulation.
+
+Ties in the calendar are broken by a monotonically increasing sequence
+number, so two events scheduled for the same instant fire in the order they
+were scheduled.  This determinism is essential: the protocol under study is
+sensitive to message/completion races and we want those races to be
+*simulated*, not to depend on Python hash ordering.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .events import Event
+    from .process import Process
+
+__all__ = ["Simulator", "SimulationError", "StopSimulation"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel (e.g. scheduling in the past)."""
+
+
+class StopSimulation(Exception):
+    """Internal signal used by :meth:`Simulator.run` to stop at a target event."""
+
+
+class Simulator:
+    """Event calendar plus the simulated clock.
+
+    Parameters
+    ----------
+    trace:
+        Optional callable ``trace(time_ns, category, message)`` invoked for
+        every traced kernel action.  ``None`` disables tracing (the default;
+        tracing is for debugging, not for measurement).
+    """
+
+    def __init__(self, trace: Optional[Callable[[int, str, str], None]] = None) -> None:
+        self._now: int = 0
+        self._queue: list[tuple[int, int, "Event"]] = []
+        self._seq: int = 0
+        self._trace = trace
+        #: number of events executed so far (useful for runaway detection)
+        self.events_executed: int = 0
+
+    # ------------------------------------------------------------------
+    # clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, event: "Event", delay: int = 0) -> None:
+        """Place *event* on the calendar ``delay`` nanoseconds from now.
+
+        ``delay`` must be a non-negative integer.  The event fires after all
+        events already scheduled for the same instant.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        if not isinstance(delay, int):
+            raise SimulationError(f"delay must be an int number of ns, got {type(delay).__name__}")
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+        event._scheduled = True
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Execute the next event on the calendar, advancing the clock."""
+        when, _, event = heapq.heappop(self._queue)
+        if when < self._now:  # pragma: no cover - defensive
+            raise SimulationError("event calendar corrupted: time went backwards")
+        self._now = when
+        self.events_executed += 1
+        event._run()
+
+    def peek(self) -> Optional[int]:
+        """Return the firing time of the next event, or ``None`` if idle."""
+        return self._queue[0][0] if self._queue else None
+
+    def run(
+        self,
+        until: "Event | int | None" = None,
+        *,
+        max_events: Optional[int] = None,
+    ) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            ``None``
+                run until the calendar is empty.
+            an :class:`~repro.simnet.events.Event` (including a process)
+                run until that event has triggered and return its value
+                (raising if it failed).
+            an ``int``
+                run until simulated time reaches that many nanoseconds.
+        max_events:
+            Optional hard cap on the number of events executed, as a guard
+            against accidental infinite simulations.
+        """
+        from .events import Event
+
+        stop_time: Optional[int] = None
+        target: Optional[Event] = None
+        if isinstance(until, Event):
+            target = until
+            if target.triggered:
+                return target.result()
+            target.add_callback(self._stop_on_target)
+        elif isinstance(until, int):
+            stop_time = until
+        elif until is not None:
+            raise SimulationError(f"invalid 'until' argument: {until!r}")
+
+        executed = 0
+        try:
+            while self._queue:
+                if stop_time is not None and self._queue[0][0] > stop_time:
+                    self._now = stop_time
+                    break
+                self.step()
+                executed += 1
+                if max_events is not None and executed >= max_events:
+                    raise SimulationError(f"exceeded max_events={max_events}")
+        except StopSimulation:
+            pass
+
+        if target is not None:
+            if not target.triggered:
+                raise SimulationError("simulation ended before 'until' event triggered (deadlock?)")
+            return target.result()
+        return None
+
+    def _stop_on_target(self, _event: "Event") -> None:
+        raise StopSimulation()
+
+    # ------------------------------------------------------------------
+    # conveniences
+    # ------------------------------------------------------------------
+    def timeout(self, delay: int, value: Any = None) -> "Event":
+        """Return an event that fires ``delay`` ns from now with ``value``."""
+        from .events import Timeout
+
+        return Timeout(self, delay, value)
+
+    def event(self) -> "Event":
+        """Return a fresh untriggered event."""
+        from .events import Event
+
+        return Event(self)
+
+    def process(self, generator: Iterator[Any], name: str = "") -> "Process":
+        """Spawn *generator* as a simulation process starting now."""
+        from .process import Process
+
+        return Process(self, generator, name=name)
+
+    def trace(self, category: str, message: str) -> None:
+        """Emit a trace record if tracing is enabled."""
+        if self._trace is not None:
+            self._trace(self._now, category, message)

@@ -1,0 +1,157 @@
+"""Point-to-point full-duplex link model.
+
+A :class:`Link` joins two endpoints (``0`` and ``1``).  Each direction is an
+independent serialized pipe: a message occupies the transmitter for its
+*transmission delay* (``wire_bytes * 8 / bandwidth`` plus a fixed per-message
+overhead), then travels for the *propagation delay* (possibly inflated by a
+:class:`~repro.simnet.emulator.DelayEmulator`), and is finally delivered to
+the receiving endpoint's handler.
+
+Delivery is strictly in order per direction — the model stands in for a
+*reliable connected* RDMA transport (InfiniBand RC / RoCE), which guarantees
+ordered, lossless delivery; with jitter enabled arrivals are clamped so that
+ordering still holds, exactly as a reliability layer would enforce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from .emulator import DelayEmulator
+from .kernel import SimulationError, Simulator
+
+__all__ = ["Link", "LinkDirection", "LinkStats"]
+
+Handler = Callable[[Any], None]
+
+
+@dataclass
+class LinkStats:
+    """Per-direction transmission counters."""
+
+    messages: int = 0
+    wire_bytes: int = 0
+    busy_ns: int = 0
+
+
+class LinkDirection:
+    """One direction of a full-duplex link (serialized transmitter)."""
+
+    def __init__(self, link: "Link", index: int) -> None:
+        self.link = link
+        self.index = index
+        self.handler: Optional[Handler] = None
+        self._busy_until = 0
+        self._last_arrival = 0
+        self.stats = LinkStats()
+
+    def transmit(self, payload: Any, wire_bytes: int, extra_tx_ns: int = 0) -> int:
+        """Queue *payload* for transmission; returns the arrival time (ns).
+
+        The caller is responsible for any pre-wire latency (HCA processing);
+        this method models only the wire.  ``extra_tx_ns`` adds serialization
+        time beyond the byte-rate cost (e.g. an HCA large-message penalty)
+        and occupies the transmitter like real wire time.
+        """
+        link = self.link
+        sim = link.sim
+        if wire_bytes < 0 or extra_tx_ns < 0:
+            raise SimulationError("wire_bytes and extra_tx_ns must be >= 0")
+        if self.handler is None:
+            raise SimulationError("link direction has no attached handler")
+        tx_ns = link.transmission_ns(wire_bytes) + extra_tx_ns
+        start = max(sim.now, self._busy_until)
+        end_tx = start + tx_ns
+        self._busy_until = end_tx
+        prop = link.propagation_ns()
+        arrival = end_tx + prop
+        # Reliable transport: never deliver out of order even under jitter.
+        if arrival < self._last_arrival:
+            arrival = self._last_arrival
+        self._last_arrival = arrival
+
+        self.stats.messages += 1
+        self.stats.wire_bytes += wire_bytes
+        self.stats.busy_ns += tx_ns
+
+        handler = self.handler
+        ev = sim.event()
+        ev.add_callback(lambda _e: handler(payload))
+        ev.succeed(delay=arrival - sim.now)
+        sim.trace("link", f"dir{self.index} tx {wire_bytes}B arrive@{arrival}")
+        return arrival
+
+    @property
+    def busy_until(self) -> int:
+        return self._busy_until
+
+
+class Link:
+    """Full-duplex point-to-point link.
+
+    Parameters
+    ----------
+    sim:
+        The simulator.
+    bandwidth_bps:
+        Data rate of the wire in bits per second.
+    propagation_delay_ns:
+        One-way propagation delay of the physical medium.
+    per_message_overhead_ns:
+        Fixed serialization overhead charged per message (framing, switch
+        forwarding, etc.).
+    emulator:
+        Optional :class:`DelayEmulator` adding WAN-style delay/jitter on top
+        of the base propagation delay (models the Anue hardware emulator
+        used in the paper).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        *,
+        bandwidth_bps: float,
+        propagation_delay_ns: int,
+        per_message_overhead_ns: int = 0,
+        emulator: Optional[DelayEmulator] = None,
+    ) -> None:
+        if bandwidth_bps <= 0:
+            raise SimulationError("bandwidth must be positive")
+        if propagation_delay_ns < 0:
+            raise SimulationError("propagation delay must be >= 0")
+        self.sim = sim
+        self.bandwidth_bps = float(bandwidth_bps)
+        self.propagation_delay_ns = int(propagation_delay_ns)
+        self.per_message_overhead_ns = int(per_message_overhead_ns)
+        self.emulator = emulator
+        self.directions = (LinkDirection(self, 0), LinkDirection(self, 1))
+
+    # ------------------------------------------------------------------
+    def attach(self, endpoint: int, handler: Handler) -> LinkDirection:
+        """Attach *handler* to receive messages sent **toward** *endpoint*.
+
+        Returns the direction object used to **send from** that endpoint.
+        """
+        if endpoint not in (0, 1):
+            raise SimulationError("endpoint must be 0 or 1")
+        # Messages sent from endpoint e travel on direction e and are handled
+        # by the opposite endpoint's handler.
+        self.directions[1 - endpoint].handler = handler
+        return self.directions[endpoint]
+
+    def transmission_ns(self, wire_bytes: int) -> int:
+        """Serialization delay for a message of *wire_bytes* bytes."""
+        return self.per_message_overhead_ns + int(round(wire_bytes * 8 * 1e9 / self.bandwidth_bps))
+
+    def propagation_ns(self) -> int:
+        """Propagation delay for one message (base + emulator, if any)."""
+        extra = self.emulator.sample_ns() if self.emulator is not None else 0
+        return self.propagation_delay_ns + extra
+
+    def one_way_latency_ns(self, wire_bytes: int) -> int:
+        """Unloaded one-way latency estimate for a message (no emulator jitter)."""
+        base = self.propagation_delay_ns
+        if self.emulator is not None:
+            base += self.emulator.base_delay_ns
+        return self.transmission_ns(wire_bytes) + base

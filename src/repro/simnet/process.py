@@ -1,0 +1,123 @@
+"""Generator-based simulation processes.
+
+A :class:`Process` wraps a Python generator.  The generator ``yield``\\ s
+:class:`~repro.simnet.events.Event` objects (timeouts, signals, other
+processes, ...) and is resumed with the event's value when it fires; if the
+event failed, the exception is thrown into the generator.  When the
+generator returns, the process — which is itself an event — succeeds with
+the generator's return value, so processes can wait on each other.
+
+This is the cooperative-multitasking layer every actor in the simulated
+system (HCA engines, EXS progress threads, application code) is built on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from .events import Event
+from .kernel import SimulationError, Simulator
+
+__all__ = ["Process", "Interrupt"]
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process(Event):
+    """A running simulation process (also an event: its own completion)."""
+
+    def __init__(self, sim: Simulator, generator: Iterator[Any], name: str = "") -> None:
+        super().__init__(sim)
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(
+                f"Process requires a generator, got {type(generator).__name__}; "
+                "did you forget to call the generator function?"
+            )
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Event | None = None
+        # Bootstrap: start the generator at the current instant via the calendar
+        # so that process start order is deterministic.
+        start = Event(sim)
+        start.add_callback(self._resume)
+        start.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current instant.
+
+        The process stops waiting on its current target (the target event is
+        left intact and may still fire later for other waiters).
+        """
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt terminated process {self.name!r}")
+        wake = Event(self.sim)
+        wake.add_callback(lambda _e: self._throw(Interrupt(cause)))
+        wake.succeed()
+
+    # ------------------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        """Drive the generator one step with *event*'s outcome."""
+        self._target = None
+        try:
+            if event.ok:
+                nxt = self.generator.send(event._value)
+            else:
+                nxt = self.generator.throw(event._value)
+        except StopIteration as stop:
+            if not self.triggered:
+                self.succeed(stop.value)
+            return
+        except Interrupt:
+            # An interrupt escaped the generator: treat as normal termination
+            # with no value (the idiomatic way to stop a server loop).
+            if not self.triggered:
+                self.succeed(None)
+            return
+        except BaseException as exc:
+            if not self.triggered:
+                self.fail(exc)
+            return
+        self._wait_on(nxt)
+
+    def _throw(self, exc: BaseException) -> None:
+        if self.triggered:
+            return  # terminated in the meantime; interrupt is moot
+        try:
+            nxt = self.generator.throw(exc)
+        except StopIteration as stop:
+            if not self.triggered:
+                self.succeed(stop.value)
+            return
+        except Interrupt:
+            if not self.triggered:
+                self.succeed(None)
+            return
+        except BaseException as err:
+            if not self.triggered:
+                self.fail(err)
+            return
+        self._wait_on(nxt)
+
+    def _wait_on(self, target: Any) -> None:
+        if not isinstance(target, Event):
+            self._throw(
+                SimulationError(
+                    f"process {self.name!r} yielded {target!r}; processes must yield Events"
+                )
+            )
+            return
+        if target.sim is not self.sim:
+            self._throw(SimulationError("yielded event belongs to a different simulator"))
+            return
+        self._target = target
+        target.add_callback(self._resume)

@@ -1,0 +1,91 @@
+"""Two-node testbed assembly.
+
+:class:`Testbed` wires together everything below the application: the
+simulator, two hosts (client / server), the link (optionally through a
+delay emulator), the RDMA devices, and an EXS stack on each host.  It is
+the starting point of every example, test, and benchmark::
+
+    tb = Testbed(FDR_INFINIBAND, seed=1)
+    tb.sim.process(server_app(tb.server), name="server")
+    tb.sim.process(client_app(tb.client), name="client")
+    tb.run()
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .bench.profiles import FDR_INFINIBAND, HardwareProfile
+from .exs import ExsStack
+from .hosts import Host
+from .simnet import DelayEmulator, Link, Simulator
+from .verbs import ConnectionManager, connect_devices
+from .verbs.comp_channel import uniform_wakeup
+
+__all__ = ["Testbed"]
+
+
+class Testbed:
+    """A client host and a server host joined by one RDMA-capable link."""
+
+    #: not a pytest test class, despite the importable name
+    __test__ = False
+
+    def __init__(
+        self,
+        profile: HardwareProfile = FDR_INFINIBAND,
+        *,
+        seed: int = 0,
+        jitter: Optional[Callable] = None,
+        trace: Optional[Callable[[int, str, str], None]] = None,
+    ) -> None:
+        self.profile = profile
+        self.seed = seed
+        self.sim = Simulator(trace=trace)
+
+        self.client_host = Host(
+            self.sim, "client",
+            copy_bandwidth_bps=profile.copy_bandwidth_bps,
+            cpu_costs=profile.cpu_costs,
+        )
+        self.server_host = Host(
+            self.sim, "server",
+            copy_bandwidth_bps=profile.copy_bandwidth_bps,
+            cpu_costs=profile.cpu_costs,
+        )
+        # Completion-channel wake-up latency distribution (per host; the
+        # per-channel RNG seed comes from the stack so runs are reproducible).
+        sampler = uniform_wakeup(profile.wakeup_lo_ns, profile.wakeup_hi_ns)
+        self.client_host.wakeup_sampler = sampler
+        self.server_host.wakeup_sampler = sampler
+
+        emulator = None
+        if profile.emulator_delay_ns or jitter is not None:
+            emulator = DelayEmulator(profile.emulator_delay_ns, jitter=jitter, seed=seed + 7)
+        self.link = Link(
+            self.sim,
+            bandwidth_bps=profile.link_bandwidth_bps,
+            propagation_delay_ns=profile.propagation_delay_ns,
+            per_message_overhead_ns=profile.per_message_overhead_ns,
+            emulator=emulator,
+        )
+        self.client_device, self.server_device = connect_devices(
+            self.sim, self.client_host, self.server_host, self.link,
+            config_a=profile.device, config_b=profile.device,
+        )
+        self.client = ExsStack(
+            self.sim, self.client_host, self.client_device,
+            ConnectionManager(self.client_device), seed=seed * 2 + 1,
+        )
+        self.server = ExsStack(
+            self.sim, self.server_host, self.server_device,
+            ConnectionManager(self.server_device), seed=seed * 2 + 2,
+        )
+
+    def run(self, until=None, *, max_events: Optional[int] = None):
+        """Run the simulation (see :meth:`repro.simnet.Simulator.run`)."""
+        return self.sim.run(until, max_events=max_events)
+
+    @property
+    def now(self) -> int:
+        return self.sim.now

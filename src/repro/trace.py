@@ -1,0 +1,145 @@
+"""Protocol tracing and timeline rendering.
+
+Understanding *why* a connection fell back to buffered mode (or failed to
+recover) requires seeing the interleaving of ADVERTs, transfers, copies
+and phase changes.  :class:`ProtocolTracer` records structured events from
+every EXS connection on a testbed, and the renderers turn them into a
+time-bucketed ASCII timeline or CSV for external tooling.
+
+Usage::
+
+    tb = Testbed(seed=1)
+    tracer = ProtocolTracer.attach(tb)
+    ... run ...
+    print(render_timeline(tracer, width=72))
+    tracer.to_csv(open("trace.csv", "w"))
+
+Tracing is off unless attached; the emission points cost one attribute
+check when disabled.
+"""
+
+from __future__ import annotations
+
+import csv as _csv
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import IO, Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["TraceEvent", "ProtocolTracer", "render_timeline", "summarize"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured protocol event."""
+
+    time_ns: int
+    #: connection id (unique per endpoint)
+    conn: int
+    #: endpoint host name ("client"/"server" on a Testbed)
+    host: str
+    #: event kind: phase, direct, indirect, advert_tx, advert_rx,
+    #: advert_drop, copy, ring_ack, fin, ...
+    kind: str
+    #: kind-specific payload (nbytes, seq, phase, ...)
+    fields: Tuple[Tuple[str, object], ...] = ()
+
+    def get(self, key: str, default=None):
+        for k, v in self.fields:
+            if k == key:
+                return v
+        return default
+
+
+class ProtocolTracer:
+    """Collects :class:`TraceEvent` records from EXS connections."""
+
+    def __init__(self, capacity: int = 1_000_000) -> None:
+        self.capacity = capacity
+        self.events: List[TraceEvent] = []
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def attach(cls, testbed, capacity: int = 1_000_000) -> "ProtocolTracer":
+        """Create a tracer and attach it to both hosts of a testbed.
+
+        Connections created afterwards emit events into it.
+        """
+        tracer = cls(capacity)
+        testbed.client_host.tracer = tracer
+        testbed.server_host.tracer = tracer
+        return tracer
+
+    def emit(self, time_ns: int, conn: int, host: str, kind: str, **fields) -> None:
+        if len(self.events) >= self.capacity:
+            self.dropped += 1
+            return
+        self.events.append(
+            TraceEvent(time_ns, conn, host, kind, tuple(sorted(fields.items())))
+        )
+
+    # ------------------------------------------------------------------
+    def of_kind(self, *kinds: str) -> List[TraceEvent]:
+        wanted = set(kinds)
+        return [e for e in self.events if e.kind in wanted]
+
+    def connections(self) -> List[Tuple[int, str]]:
+        """Distinct (conn, host) pairs in first-seen order."""
+        seen: Dict[Tuple[int, str], None] = {}
+        for e in self.events:
+            seen.setdefault((e.conn, e.host), None)
+        return list(seen)
+
+    def to_csv(self, fh: IO[str]) -> int:
+        """Write all events as CSV; returns the row count."""
+        writer = _csv.writer(fh)
+        writer.writerow(["time_ns", "conn", "host", "kind", "fields"])
+        for e in self.events:
+            writer.writerow(
+                [e.time_ns, e.conn, e.host, e.kind,
+                 ";".join(f"{k}={v}" for k, v in e.fields)]
+            )
+        return len(self.events)
+
+
+def render_timeline(tracer: ProtocolTracer, width: int = 72) -> str:
+    """ASCII strip per sending direction: ``D`` direct, ``I`` indirect,
+    ``*`` both within one bucket, ``.`` quiet.  A compact view of when the
+    protocol switched modes."""
+    transfers = tracer.of_kind("direct", "indirect")
+    if not transfers:
+        return "(no transfers recorded)"
+    t0 = min(e.time_ns for e in transfers)
+    t1 = max(e.time_ns for e in transfers)
+    span = max(1, t1 - t0)
+    by_dir: Dict[Tuple[int, str], List[TraceEvent]] = defaultdict(list)
+    for e in transfers:
+        by_dir[(e.conn, e.host)].append(e)
+
+    lines = [f"transfer timeline ({span / 1e6:.3f} ms, {width} buckets; "
+             f"D=direct I=indirect *=mixed)"]
+    for (conn, host), events in sorted(by_dir.items()):
+        buckets = [set() for _ in range(width)]
+        for e in events:
+            idx = min(width - 1, (e.time_ns - t0) * width // span)
+            buckets[idx].add(e.kind)
+        strip = "".join(
+            "*" if len(b) == 2 else ("D" if "direct" in b else "I" if "indirect" in b else ".")
+            for b in buckets
+        )
+        lines.append(f"  conn {conn} @{host:<7s} |{strip}|")
+    return "\n".join(lines)
+
+
+def summarize(tracer: ProtocolTracer) -> str:
+    """Per-connection counts of the interesting events."""
+    counts: Dict[Tuple[int, str], Dict[str, int]] = defaultdict(lambda: defaultdict(int))
+    for e in tracer.events:
+        counts[(e.conn, e.host)][e.kind] += 1
+    lines = ["per-connection event counts:"]
+    for (conn, host), kinds in sorted(counts.items()):
+        detail = ", ".join(f"{k}={v}" for k, v in sorted(kinds.items()))
+        lines.append(f"  conn {conn} @{host}: {detail}")
+    if tracer.dropped:
+        lines.append(f"  ({tracer.dropped} events dropped at capacity)")
+    return "\n".join(lines)

@@ -1,0 +1,395 @@
+"""The simulated RDMA device (HCA) and its RC transport engine.
+
+One :class:`RdmaDevice` is attached to a host and to one end of a
+:class:`~repro.simnet.link.Link`.  It owns:
+
+* a protection domain (memory registration),
+* queue pairs and completion queues,
+* a **send engine** process that drains send queues (one WR at a time,
+  modelling the HCA's WQE-processing pipeline) onto the link, and
+* the **arrival handler** that executes incoming messages: placing payloads
+  directly into registered memory (the zero-copy DMA path — note that no
+  host CPU time is charged for it), consuming RECVs, raising completions,
+  and returning cumulative transport ACKs.
+
+Send completions follow RC semantics: a send WR completes only when the
+responder's ACK arrives, which is what makes send-credit return latency a
+round trip on long-delay paths (paper §IV-B2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional, Set
+
+from ..hosts.host import Host
+from ..hosts.memory import Chunk
+from ..simnet import Signal, Simulator
+from ..simnet.link import Link, LinkDirection
+from .comp_channel import CompletionChannel, WakeupSampler
+from .cq import CompletionQueue, WorkCompletion
+from .enums import Access, Opcode, QPState, WCOpcode, WCStatus
+from .errors import BadWorkRequest, ReceiverNotReady, RemoteAccessError, VerbsError
+from .mr import ProtectionDomain
+from .qp import QueuePair
+from .wire import AckMessage, CmMessage, DataMessage, HEADER_BYTES
+
+__all__ = ["DeviceConfig", "RdmaDevice", "connect_devices"]
+
+
+@dataclass(frozen=True)
+class DeviceConfig:
+    """Timing characteristics of the simulated HCA."""
+
+    #: per-WR processing time in the send pipeline (doorbell → wire)
+    wr_overhead_ns: int = 150
+    #: responder-side processing before placing a message / generating an ACK
+    rx_overhead_ns: int = 100
+    #: time for the responder to turn around a transport ACK
+    ack_turnaround_ns: int = 100
+    #: messages larger than this pay a per-byte penalty on the portion above
+    #: the threshold (models the on-HCA/LLC caching effect the paper suggests
+    #: explains the throughput dip past 2 MiB in its Fig. 12a); None disables.
+    large_msg_threshold: Optional[int] = None
+    #: extra nanoseconds per byte beyond the threshold
+    large_msg_extra_ns_per_byte: float = 0.0
+    #: maximum RC message size
+    max_msg_bytes: int = 1 << 31
+
+
+class RdmaDevice:
+    """A software HCA bound to a host and one link endpoint."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, sim: Simulator, host: Host, config: Optional[DeviceConfig] = None) -> None:
+        self.sim = sim
+        self.host = host
+        self.config = config or DeviceConfig()
+        self.device_id = next(RdmaDevice._ids)
+        host.device = self
+
+        self.pd = ProtectionDomain(self)
+        self._qps: Dict[int, QueuePair] = {}
+        self._next_qpn = itertools.count(self.device_id * 1000 + 1)
+
+        self.link: Optional[Link] = None
+        self.endpoint: Optional[int] = None
+        self.tx: Optional[LinkDirection] = None
+        self.peer: Optional["RdmaDevice"] = None
+
+        # send engine
+        self._service: Deque[QueuePair] = deque()
+        self._in_service: Set[int] = set()
+        self._engine_kick = Signal(sim)
+        self._engine = sim.process(self._send_engine(), name=f"hca{self.device_id}-send")
+
+        # connection management hook (set by repro.verbs.cm)
+        self.cm_handler = None
+
+        # per-peer-QP cumulative consumed message counters (for ACKs)
+        self._consumed_msn: Dict[int, int] = {}
+
+        # diagnostics
+        self.data_messages_sent = 0
+        self.acks_sent = 0
+
+    # ------------------------------------------------------------------
+    # resource creation
+    # ------------------------------------------------------------------
+    def create_channel(self, wakeup: Optional[WakeupSampler] = None, seed: int = 0) -> CompletionChannel:
+        return CompletionChannel(self.sim, wakeup=wakeup, seed=seed)
+
+    def create_cq(self, channel: Optional[CompletionChannel] = None) -> CompletionQueue:
+        return CompletionQueue(channel)
+
+    def create_qp(self, send_cq: CompletionQueue, recv_cq: CompletionQueue) -> QueuePair:
+        qp = QueuePair(self, next(self._next_qpn), send_cq, recv_cq)
+        self._qps[qp.qpn] = qp
+        return qp
+
+    def register(self, buffer, access: Access = Access.remote()):
+        """Register a buffer in this device's protection domain."""
+        return self.pd.register(buffer, access)
+
+    # ------------------------------------------------------------------
+    # link attachment
+    # ------------------------------------------------------------------
+    def attach_link(self, link: Link, endpoint: int) -> None:
+        if self.link is not None:
+            raise VerbsError("device already attached to a link")
+        self.link = link
+        self.endpoint = endpoint
+        self.tx = link.attach(endpoint, self._on_wire)
+
+    # ------------------------------------------------------------------
+    # send path
+    # ------------------------------------------------------------------
+    def kick_send(self, qp: QueuePair) -> None:
+        """Tell the send engine that *qp* has work (called by post_send)."""
+        if qp.qpn not in self._in_service:
+            self._in_service.add(qp.qpn)
+            self._service.append(qp)
+        self._engine_kick.fire()
+
+    def _send_engine(self):
+        """HCA send pipeline: one WR at a time, round-robin across QPs."""
+        cfg = self.config
+        while True:
+            if not self._service:
+                yield self._engine_kick.wait()
+                continue
+            qp = self._service.popleft()
+            self._in_service.discard(qp.qpn)
+            if not qp.sq or qp.state is not QPState.READY:
+                continue
+            wr = qp.sq.popleft()
+            if cfg.wr_overhead_ns:
+                yield self.sim.timeout(cfg.wr_overhead_ns)
+            self._transmit_wr(qp, wr)
+            if qp.sq:
+                if qp.qpn not in self._in_service:
+                    self._in_service.add(qp.qpn)
+                    self._service.append(qp)
+
+    def _large_msg_penalty_ns(self, nbytes: int) -> int:
+        thr = self.config.large_msg_threshold
+        if thr is None or nbytes <= thr:
+            return 0
+        return int((nbytes - thr) * self.config.large_msg_extra_ns_per_byte)
+
+    def _transmit_wr(self, qp: QueuePair, wr) -> None:
+        if self.tx is None:
+            raise VerbsError("device not attached to a link")
+        if wr.length > self.config.max_msg_bytes:
+            raise BadWorkRequest(f"message of {wr.length}B exceeds max_msg_bytes")
+        seq = qp.next_seq()
+        payload = wr.payload
+        if payload is None and wr.opcode is not Opcode.RDMA_READ:
+            # DMA-fetch the payload from local registered memory.
+            mr = self.pd.lookup_lkey(wr.sge.lkey)
+            mr.require(wr.sge.addr, wr.sge.length, Access.LOCAL_READ)
+            off = mr.offset_of(wr.sge.addr)
+            data = mr.buffer.read(off, wr.sge.length)
+            payload = Chunk(0, wr.sge.length, data)
+        msg = DataMessage(
+            src_qpn=qp.qpn,
+            dst_qpn=qp.remote_qpn,
+            opcode=wr.opcode,
+            seq=seq,
+            payload=None if wr.opcode is Opcode.RDMA_READ else payload,
+            remote_addr=wr.remote_addr,
+            rkey=wr.rkey,
+            imm_data=wr.imm_data,
+            read_len=wr.sge.length if wr.opcode is Opcode.RDMA_READ else 0,
+            wr_id=wr.wr_id,
+        )
+        qp.inflight[seq] = wr
+        qp.messages_sent += 1
+        self.data_messages_sent += 1
+        wire = HEADER_BYTES if wr.opcode is Opcode.RDMA_READ else msg.wire_bytes()
+        # The large-message penalty (HCA/LLC caching effect) slows the data
+        # stream itself, so it occupies the wire rather than the WQE pipeline.
+        self.tx.transmit(msg, wire, extra_tx_ns=self._large_msg_penalty_ns(msg.payload_bytes))
+
+    # ------------------------------------------------------------------
+    # arrival path
+    # ------------------------------------------------------------------
+    def _on_wire(self, msg) -> None:
+        if isinstance(msg, DataMessage):
+            self._on_data(msg)
+        elif isinstance(msg, AckMessage):
+            self._on_ack(msg)
+        elif isinstance(msg, CmMessage):
+            if self.cm_handler is None:
+                raise VerbsError(f"CM message {msg.kind!r} arrived with no CM listener")
+            self.cm_handler(msg)
+        else:  # pragma: no cover - defensive
+            raise VerbsError(f"unknown wire message {msg!r}")
+
+    def _on_data(self, msg: DataMessage) -> None:
+        if msg.is_read_response:
+            self._complete_read(msg)
+            return
+        qp = self._qps.get(msg.dst_qpn)
+        if qp is None:
+            raise VerbsError(f"message for unknown QP {msg.dst_qpn}")
+        qp.messages_received += 1
+
+        if msg.opcode is Opcode.SEND:
+            self._place_send(qp, msg)
+        elif msg.opcode is Opcode.RDMA_WRITE:
+            self._place_write(msg)
+        elif msg.opcode is Opcode.RDMA_WRITE_WITH_IMM:
+            self._place_write(msg)
+            self._consume_recv(qp, msg, with_imm=True)
+        elif msg.opcode is Opcode.RDMA_READ:
+            self._serve_read(msg)
+            return  # READ response acts as the ack
+        else:  # pragma: no cover - defensive
+            raise VerbsError(f"unexpected opcode {msg.opcode}")
+
+        self._schedule_ack(qp, msg.seq)
+
+    def _place_send(self, qp: QueuePair, msg: DataMessage) -> None:
+        if not qp.rq:
+            raise ReceiverNotReady(
+                f"SEND of {msg.payload_bytes}B on QP {qp.qpn} with empty receive queue "
+                "(EXS credit accounting bug?)"
+            )
+        wr = qp.rq.popleft()
+        if msg.payload_bytes > wr.length:
+            raise BadWorkRequest(
+                f"SEND of {msg.payload_bytes}B overflows RECV of {wr.length}B"
+            )
+        if wr.sge is not None and msg.payload is not None:
+            mr = self.pd.lookup_lkey(wr.sge.lkey)
+            mr.require(wr.sge.addr, msg.payload_bytes, Access.LOCAL_WRITE)
+            off = mr.offset_of(wr.sge.addr)
+            mr.buffer.write_chunk(off, msg.payload)
+        qp.recv_cq.push(
+            WorkCompletion(
+                wr_id=wr.wr_id,
+                opcode=WCOpcode.RECV,
+                status=WCStatus.SUCCESS,
+                byte_len=msg.payload_bytes,
+                imm_data=0,
+                qp_num=qp.qpn,
+                context=wr.context,
+                meta={"chunk": msg.payload, "remote_addr": 0},
+            )
+        )
+
+    def _place_write(self, msg: DataMessage) -> None:
+        mr = self.pd.lookup_rkey(msg.rkey)
+        if mr is None:
+            raise RemoteAccessError(f"RDMA WRITE with unknown rkey {msg.rkey}")
+        mr.require(msg.remote_addr, msg.payload_bytes, Access.REMOTE_WRITE)
+        if msg.payload is not None:
+            off = mr.offset_of(msg.remote_addr)
+            mr.buffer.write_chunk(off, msg.payload)
+
+    def _consume_recv(self, qp: QueuePair, msg: DataMessage, with_imm: bool) -> None:
+        if not qp.rq:
+            raise ReceiverNotReady(
+                f"WRITE_WITH_IMM on QP {qp.qpn} with empty receive queue "
+                "(EXS credit accounting bug?)"
+            )
+        wr = qp.rq.popleft()
+        qp.recv_cq.push(
+            WorkCompletion(
+                wr_id=wr.wr_id,
+                opcode=WCOpcode.RECV_RDMA_WITH_IMM,
+                status=WCStatus.SUCCESS,
+                byte_len=msg.payload_bytes,
+                imm_data=msg.imm_data,
+                qp_num=qp.qpn,
+                wc_flags_with_imm=with_imm,
+                context=wr.context,
+                meta={"chunk": msg.payload, "remote_addr": msg.remote_addr},
+            )
+        )
+
+    def _serve_read(self, msg: DataMessage) -> None:
+        mr = self.pd.lookup_rkey(msg.rkey)
+        if mr is None:
+            raise RemoteAccessError(f"RDMA READ with unknown rkey {msg.rkey}")
+        mr.require(msg.remote_addr, msg.read_len, Access.REMOTE_READ)
+        off = mr.offset_of(msg.remote_addr)
+        data = mr.buffer.read(off, msg.read_len)
+        resp = DataMessage(
+            src_qpn=msg.dst_qpn,
+            dst_qpn=msg.src_qpn,
+            opcode=Opcode.RDMA_READ,
+            seq=msg.seq,
+            payload=Chunk(0, msg.read_len, data),
+            is_read_response=True,
+            wr_id=msg.wr_id,
+        )
+        self.tx.transmit(resp, resp.wire_bytes())
+
+    def _complete_read(self, msg: DataMessage) -> None:
+        qp = self._qps.get(msg.dst_qpn)
+        if qp is None:
+            raise VerbsError(f"READ response for unknown QP {msg.dst_qpn}")
+        wr = qp.inflight.pop(msg.seq, None)
+        if wr is None:
+            raise VerbsError("READ response with no matching in-flight WR")
+        if wr.sge is not None and msg.payload is not None:
+            mr = self.pd.lookup_lkey(wr.sge.lkey)
+            mr.require(wr.sge.addr, msg.payload.nbytes, Access.LOCAL_WRITE)
+            off = mr.offset_of(wr.sge.addr)
+            mr.buffer.write_chunk(off, msg.payload)
+        qp.send_cq.push(
+            WorkCompletion(
+                wr_id=wr.wr_id,
+                opcode=WCOpcode.RDMA_READ,
+                status=WCStatus.SUCCESS,
+                byte_len=msg.payload.nbytes if msg.payload else 0,
+                qp_num=qp.qpn,
+                context=wr.context,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # acknowledgements
+    # ------------------------------------------------------------------
+    def _schedule_ack(self, qp: QueuePair, seq: int) -> None:
+        """Return a cumulative ACK to the peer, out of band."""
+        if self.peer is None or self.link is None:
+            raise VerbsError("device has no peer for ACK delivery")
+        prev = self._consumed_msn.get(qp.qpn, -1)
+        if seq > prev:
+            self._consumed_msn[qp.qpn] = seq
+        msn = self._consumed_msn[qp.qpn]
+        ack = AckMessage(dst_qpn=qp.remote_qpn, msn=msn)
+        delay = self.config.ack_turnaround_ns + self.link.propagation_ns()
+        peer = self.peer
+        ev = self.sim.event()
+        ev.add_callback(lambda _e: peer._on_ack(ack))
+        ev.succeed(delay=delay)
+        self.acks_sent += 1
+
+    def _on_ack(self, ack: AckMessage) -> None:
+        qp = self._qps.get(ack.dst_qpn)
+        if qp is None:
+            raise VerbsError(f"ACK for unknown QP {ack.dst_qpn}")
+        for wr in qp.ack_up_to(ack.msn):
+            wc_opcode = {
+                Opcode.SEND: WCOpcode.SEND,
+                Opcode.RDMA_WRITE: WCOpcode.RDMA_WRITE,
+                Opcode.RDMA_WRITE_WITH_IMM: WCOpcode.RDMA_WRITE,
+            }[wr.opcode]
+            qp.send_cq.push(
+                WorkCompletion(
+                    wr_id=wr.wr_id,
+                    opcode=wc_opcode,
+                    status=WCStatus.SUCCESS,
+                    byte_len=wr.length,
+                    qp_num=qp.qpn,
+                    context=wr.context,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # CM transmission helper (used by repro.verbs.cm)
+    # ------------------------------------------------------------------
+    def send_cm(self, msg: CmMessage) -> None:
+        if self.tx is None:
+            raise VerbsError("device not attached to a link")
+        self.tx.transmit(msg, msg.wire_bytes())
+
+
+def connect_devices(sim: Simulator, host_a: Host, host_b: Host, link: Link,
+                    config_a: Optional[DeviceConfig] = None,
+                    config_b: Optional[DeviceConfig] = None) -> tuple[RdmaDevice, RdmaDevice]:
+    """Create two devices on *link* endpoints 0/1 and cross-wire them."""
+    dev_a = RdmaDevice(sim, host_a, config_a)
+    dev_b = RdmaDevice(sim, host_b, config_b)
+    dev_a.attach_link(link, 0)
+    dev_b.attach_link(link, 1)
+    dev_a.peer = dev_b
+    dev_b.peer = dev_a
+    return dev_a, dev_b

@@ -1,0 +1,113 @@
+"""Reliable-connected queue pairs."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Dict, Optional
+
+from .cq import CompletionQueue
+from .enums import Opcode, QPState, SendFlags
+from .errors import BadWorkRequest, QPStateError
+from .wr import RecvWR, SendWR
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .device import RdmaDevice
+
+__all__ = ["QueuePair"]
+
+
+class QueuePair:
+    """An RC queue pair bound 1:1 to a peer QP on the remote device.
+
+    Work requests are posted asynchronously (:meth:`post_send`,
+    :meth:`post_recv`); the owning device's transport engine drains the send
+    queue and the remote device consumes receive-queue entries on message
+    arrival.  Completions land on the attached CQs.
+    """
+
+    def __init__(
+        self,
+        device: "RdmaDevice",
+        qpn: int,
+        send_cq: CompletionQueue,
+        recv_cq: CompletionQueue,
+        max_inline: int = 256,
+    ) -> None:
+        self.device = device
+        self.qpn = qpn
+        self.send_cq = send_cq
+        self.recv_cq = recv_cq
+        self.max_inline = max_inline
+        self.state = QPState.RESET
+        self.remote_qpn: Optional[int] = None
+
+        self.sq: Deque[SendWR] = deque()
+        self.rq: Deque[RecvWR] = deque()
+        #: sends transmitted but not yet acked, keyed by message seq
+        self.inflight: Dict[int, SendWR] = {}
+        self._next_seq = 0
+        self._last_acked = -1
+
+        # statistics
+        self.sends_posted = 0
+        self.recvs_posted = 0
+        self.messages_sent = 0
+        self.messages_received = 0
+
+    # ------------------------------------------------------------------
+    def connect(self, remote_qpn: int) -> None:
+        """Bind to the peer QP and enter the READY state."""
+        if self.state is not QPState.RESET:
+            raise QPStateError(f"QP {self.qpn} cannot connect from state {self.state}")
+        self.remote_qpn = remote_qpn
+        self.state = QPState.READY
+
+    def to_error(self) -> None:
+        self.state = QPState.ERROR
+
+    # ------------------------------------------------------------------
+    def post_send(self, wr: SendWR) -> None:
+        """Queue a send work request (returns immediately)."""
+        if self.state is not QPState.READY:
+            raise QPStateError(f"post_send on QP {self.qpn} in state {self.state}")
+        wr.validate()
+        if SendFlags.INLINE in wr.flags and wr.length > self.max_inline:
+            raise BadWorkRequest(
+                f"inline send of {wr.length}B exceeds max_inline={self.max_inline}"
+            )
+        self.sq.append(wr)
+        self.sends_posted += 1
+        self.device.kick_send(self)
+
+    def post_recv(self, wr: RecvWR) -> None:
+        """Queue a receive work request (returns immediately)."""
+        if self.state is QPState.ERROR:
+            raise QPStateError(f"post_recv on QP {self.qpn} in ERROR state")
+        self.rq.append(wr)
+        self.recvs_posted += 1
+
+    # ------------------------------------------------------------------
+    # used by the transport engine
+    # ------------------------------------------------------------------
+    def next_seq(self) -> int:
+        seq = self._next_seq
+        self._next_seq += 1
+        return seq
+
+    def ack_up_to(self, msn: int) -> list[SendWR]:
+        """Cumulative ack: pop and return all in-flight WRs with seq <= msn."""
+        done = []
+        for seq in sorted(self.inflight):
+            if seq <= msn:
+                done.append(self.inflight.pop(seq))
+        if msn > self._last_acked:
+            self._last_acked = msn
+        return done
+
+    @property
+    def send_queue_depth(self) -> int:
+        return len(self.sq)
+
+    @property
+    def recv_queue_depth(self) -> int:
+        return len(self.rq)

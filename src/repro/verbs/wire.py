@@ -1,0 +1,82 @@
+"""On-wire message records exchanged between simulated HCAs.
+
+These are *model* records, not byte-accurate packets: the link layer charges
+``wire_bytes`` of serialization time for each, and the receiving device
+interprets the fields.  Three kinds exist:
+
+* :class:`DataMessage` — one RC message (SEND / RDMA WRITE / WWI / READ
+  request / READ response).  Messages on a QP carry a per-QP sequence
+  number (``seq``) used by cumulative acknowledgements.
+* :class:`AckMessage` — transport-level cumulative ACK.  Real IB ACKs are
+  tiny link-layer packets that coalesce; the model delivers them out of
+  band (no serialization cost) after the link's propagation delay.
+* :class:`CmMessage` — connection-management datagrams (REQ/REP/RTU/...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..hosts.memory import Chunk
+from .enums import Opcode
+
+__all__ = ["DataMessage", "AckMessage", "CmMessage", "HEADER_BYTES", "CM_WIRE_BYTES", "CTRL_WIRE_BYTES_GUESS"]
+
+#: per-message header/framing charge (BTH/RETH etc., amortised per message)
+HEADER_BYTES = 64
+#: size of a CM datagram on the wire
+CM_WIRE_BYTES = 256
+#: nominal size of an upper-layer control message (used by analytic models;
+#: the EXS layer defines its own authoritative constant)
+CTRL_WIRE_BYTES_GUESS = 48
+
+
+@dataclass
+class DataMessage:
+    """One RC transport message."""
+
+    src_qpn: int
+    dst_qpn: int
+    opcode: Opcode
+    seq: int
+    payload: Optional[Chunk] = None
+    remote_addr: int = 0
+    rkey: int = 0
+    imm_data: int = 0
+    #: for READ: number of bytes requested
+    read_len: int = 0
+    #: True when this is the response half of an RDMA_READ
+    is_read_response: bool = False
+    #: wr bookkeeping at the requester
+    wr_id: int = 0
+
+    @property
+    def payload_bytes(self) -> int:
+        return self.payload.nbytes if self.payload is not None else 0
+
+    def wire_bytes(self) -> int:
+        return HEADER_BYTES + self.payload_bytes
+
+
+@dataclass
+class AckMessage:
+    """Cumulative transport acknowledgement for a QP direction."""
+
+    dst_qpn: int
+    #: highest message sequence number consumed at the responder
+    msn: int
+
+
+@dataclass
+class CmMessage:
+    """Connection-management datagram."""
+
+    kind: str  # "req" | "rep" | "rtu" | "rej" | "disconnect"
+    port: int
+    src_qpn: int = 0
+    dst_qpn: int = 0
+    private_data: Dict[str, Any] = field(default_factory=dict)
+
+    def wire_bytes(self) -> int:
+        return CM_WIRE_BYTES

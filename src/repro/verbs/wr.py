@@ -1,0 +1,82 @@
+"""Work requests and scatter/gather entries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..hosts.memory import Chunk
+from .enums import Opcode, SendFlags
+from .errors import BadWorkRequest
+
+__all__ = ["SGE", "SendWR", "RecvWR"]
+
+
+@dataclass(frozen=True)
+class SGE:
+    """Scatter/gather entry: (address, length, lkey)."""
+
+    addr: int
+    length: int
+    lkey: int
+
+    def __post_init__(self) -> None:
+        if self.length < 0:
+            raise BadWorkRequest("negative SGE length")
+
+
+@dataclass
+class SendWR:
+    """A send-queue work request.
+
+    For ``RDMA_WRITE`` / ``RDMA_WRITE_WITH_IMM`` the remote target is given
+    by ``(remote_addr, rkey)``.  ``WRITE_WITH_IMM`` additionally consumes a
+    RECV at the responder and delivers ``imm_data`` in that completion.
+
+    ``payload`` optionally carries the actual byte-stream chunk being moved
+    (see :class:`~repro.hosts.memory.Chunk`); the verbs layer treats it as
+    opaque and simply materialises it at the destination.
+    """
+
+    opcode: Opcode
+    wr_id: int = 0
+    sge: Optional[SGE] = None
+    remote_addr: int = 0
+    rkey: int = 0
+    imm_data: int = 0
+    flags: SendFlags = SendFlags.SIGNALED
+    payload: Optional[Chunk] = None
+    context: Any = None
+
+    def validate(self) -> None:
+        if self.opcode in (Opcode.RDMA_WRITE, Opcode.RDMA_WRITE_WITH_IMM, Opcode.RDMA_READ):
+            if self.rkey == 0:
+                raise BadWorkRequest(f"{self.opcode.value} requires an rkey")
+        if self.sge is None:
+            raise BadWorkRequest("send WR requires an SGE")
+        if self.payload is not None and self.payload.nbytes != self.sge.length:
+            raise BadWorkRequest("payload length does not match SGE length")
+        if SendFlags.INLINE in self.flags and self.opcode is Opcode.RDMA_READ:
+            raise BadWorkRequest("RDMA_READ cannot be inline")
+
+    @property
+    def length(self) -> int:
+        return self.sge.length if self.sge else 0
+
+
+@dataclass
+class RecvWR:
+    """A receive-queue work request.
+
+    A zero-length RECV (``sge=None``) is legal and is exactly what UNH EXS
+    posts to absorb WRITE-WITH-IMM notifications: the data lands via RDMA,
+    the RECV only conveys the immediate value.
+    """
+
+    wr_id: int = 0
+    sge: Optional[SGE] = None
+    context: Any = None
+
+    @property
+    def length(self) -> int:
+        return self.sge.length if self.sge else 0

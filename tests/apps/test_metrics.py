@@ -1,0 +1,52 @@
+"""Throughput equation and confidence intervals."""
+
+import math
+
+import pytest
+
+from repro.apps.metrics import MeanCI, mean_ci, throughput_bps
+
+
+def test_throughput_equation():
+    # 1000 bytes in 1 microsecond = 8 Gb/s (paper equation (1))
+    assert throughput_bps(1000, 0, 1000) == pytest.approx(8e9)
+
+
+def test_throughput_degenerate_window():
+    assert throughput_bps(1000, 100, 100) == 0.0
+    assert throughput_bps(1000, 200, 100) == 0.0
+
+
+def test_mean_ci_single_value():
+    ci = mean_ci([5.0])
+    assert ci.mean == 5.0 and ci.half_width == 0.0 and ci.n == 1
+
+
+def test_mean_ci_constant_values():
+    ci = mean_ci([3.0, 3.0, 3.0])
+    assert ci.mean == 3.0 and ci.half_width == 0.0
+
+
+def test_mean_ci_known_case():
+    # n=2: t(0.975, df=1) = 12.706; s = |a-b|/sqrt(2); hw = t*s/sqrt(2)
+    ci = mean_ci([0.0, 2.0])
+    assert ci.mean == 1.0
+    expected = 12.706 * math.sqrt(2.0) / math.sqrt(2)
+    assert ci.half_width == pytest.approx(expected)
+    assert ci.lo == pytest.approx(1.0 - expected)
+    assert ci.hi == pytest.approx(1.0 + expected)
+
+
+def test_mean_ci_shrinks_with_n():
+    wide = mean_ci([1.0, 2.0])
+    narrow = mean_ci([1.0, 2.0] * 10)
+    assert narrow.half_width < wide.half_width
+
+
+def test_mean_ci_empty_rejected():
+    with pytest.raises(ValueError):
+        mean_ci([])
+
+
+def test_mean_ci_str():
+    assert "±" in str(mean_ci([1.0, 2.0]))

@@ -1,0 +1,68 @@
+"""Message-size generators: determinism, caps, phases."""
+
+import pytest
+
+from repro.apps.workloads import (
+    KIB,
+    MIB,
+    BimodalSizes,
+    ExponentialSizes,
+    FixedSizes,
+    PhasedSizes,
+    UniformSizes,
+)
+
+
+def test_fixed_sizes():
+    gen = FixedSizes(4096)
+    assert gen.sizes(3) == [4096, 4096, 4096]
+    assert gen.mean_hint == 4096
+    with pytest.raises(ValueError):
+        FixedSizes(0)
+
+
+def test_exponential_deterministic_per_seed():
+    a = ExponentialSizes(seed=7).sizes(100)
+    b = ExponentialSizes(seed=7).sizes(100)
+    c = ExponentialSizes(seed=8).sizes(100)
+    assert a == b
+    assert a != c
+
+
+def test_exponential_respects_cap_and_floor():
+    sizes = ExponentialSizes(mean=1 * MIB, maximum=4 * MIB, seed=1).sizes(2000)
+    assert all(1 <= s <= 4 * MIB for s in sizes)
+    # the mean should be in the right ballpark (capped exponential)
+    mean = sum(sizes) / len(sizes)
+    assert 0.6 * MIB < mean < 1.4 * MIB
+
+
+def test_exponential_validation():
+    with pytest.raises(ValueError):
+        ExponentialSizes(mean=0)
+
+
+def test_uniform_bounds():
+    sizes = UniformSizes(10, 20, seed=2).sizes(500)
+    assert all(10 <= s <= 20 for s in sizes)
+    with pytest.raises(ValueError):
+        UniformSizes(5, 4)
+
+
+def test_bimodal_mixture():
+    sizes = BimodalSizes(64, 1 * MIB, large_fraction=0.25, seed=3).sizes(2000)
+    assert set(sizes) == {64, 1 * MIB}
+    frac = sizes.count(1 * MIB) / len(sizes)
+    assert 0.18 < frac < 0.32
+    with pytest.raises(ValueError):
+        BimodalSizes(1, 2, large_fraction=1.5)
+
+
+def test_phased_concatenation():
+    gen = PhasedSizes([(FixedSizes(10), 3), (FixedSizes(20), 2)])
+    assert gen.sizes(5) == [10, 10, 10, 20, 20]
+    assert gen.total_planned == 5
+    # drawing beyond a plan cycles (safety property for over-draws)
+    assert gen.sizes(7) == [10, 10, 10, 20, 20, 10, 10]
+    with pytest.raises(ValueError):
+        PhasedSizes([])

@@ -1,0 +1,82 @@
+"""Hardware profiles and the experiment harness."""
+
+import pytest
+
+from repro.apps import BlastConfig, FixedSizes
+from repro.bench.experiment import (
+    PAPER,
+    QUICK,
+    SMOKE,
+    RunQuality,
+    quality_from_env,
+    run_repeated,
+)
+from repro.bench.profiles import (
+    FDR_INFINIBAND,
+    PROFILES,
+    QDR_INFINIBAND,
+    ROCE_10G_WAN,
+)
+from repro.bench.report import format_series_table, format_table
+
+
+def test_profiles_registry():
+    assert set(PROFILES) == {"fdr", "roce-wan", "roce-lan", "qdr"}
+    assert PROFILES["fdr"] is FDR_INFINIBAND
+
+
+def test_profile_overrides_do_not_mutate():
+    modified = FDR_INFINIBAND.with_overrides(link_bandwidth_bps=1e9)
+    assert modified.link_bandwidth_bps == 1e9
+    assert FDR_INFINIBAND.link_bandwidth_bps == 47e9
+    assert modified.copy_bandwidth_bps == FDR_INFINIBAND.copy_bandwidth_bps
+
+
+def test_wan_profile_delay():
+    assert ROCE_10G_WAN.emulator_delay_ns * 2 == 48_000_000  # 48 ms RTT
+
+
+def test_qdr_is_slower_wire_than_fdr():
+    assert QDR_INFINIBAND.link_bandwidth_bps < FDR_INFINIBAND.link_bandwidth_bps
+
+
+def test_quality_from_env(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_QUALITY", "smoke")
+    assert quality_from_env() is SMOKE
+    monkeypatch.setenv("REPRO_BENCH_QUALITY", "paper")
+    assert quality_from_env() is PAPER
+    monkeypatch.setenv("REPRO_BENCH_QUALITY", "bogus")
+    assert quality_from_env() is QUICK
+
+
+def test_fixed_size_message_scaling():
+    q = RunQuality("t", messages=100, seeds=(1,), bytes_budget=1000)
+    assert q.fixed_size_messages(10, lo=5, hi=50) == 50
+    assert q.fixed_size_messages(1000, lo=5, hi=50) == 5
+
+
+def test_run_repeated_aggregates_each_seed():
+    q = RunQuality("t", messages=10, seeds=(1, 2, 3))
+    cfg = BlastConfig(total_messages=10, sizes=FixedSizes(1 << 16),
+                      recv_buffer_bytes=1 << 16)
+    agg = run_repeated(cfg, quality=q)
+    assert agg.throughput_bps.n == 3
+    assert len(agg.runs) == 3
+    assert agg.throughput_gbps > 0
+    # different wake-up seeds -> runs are not all identical
+    values = {r.end_ns for r in agg.runs}
+    assert len(values) > 1
+
+
+def test_format_table_alignment():
+    text = format_table(["a", "bb"], [[1, 22], [333, 4]], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "bb" in lines[1]
+    assert len(lines) == 5
+
+
+def test_format_series_table():
+    text = format_series_table("x", [1, 2], {"s1": ["a", "b"], "s2": ["c", "d"]})
+    assert "s1" in text and "s2" in text
+    assert text.count("\n") == 3

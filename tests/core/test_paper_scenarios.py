@@ -1,0 +1,213 @@
+"""Reconstructions of the paper's hazard diagrams (Figs. 1, 6, 7, 8).
+
+Each test replays the message interleaving a figure illustrates and checks
+that the implemented algorithm resolves it exactly as the paper's fixed
+protocol does — stale ADVERT sequences are dropped wholesale and no direct
+transfer ever lands in the wrong buffer.
+
+The scenarios drive the *pure* sender/receiver state machines through an
+explicit in-order wire, so the interleavings are exact.
+"""
+
+from collections import deque
+
+import pytest
+
+from repro.core import (
+    Advert,
+    DirectPlan,
+    IndirectPlan,
+    ProtocolMode,
+    ReceiverAlgorithm,
+    ReceiverRing,
+    SenderAlgorithm,
+    SenderRingView,
+)
+from repro.core.invariants import SafetyViolation
+
+
+class Wire:
+    """Explicit in-order channels between the two state machines."""
+
+    def __init__(self, capacity=1000):
+        self.sender = SenderAlgorithm(SenderRingView(capacity))
+        self.receiver = ReceiverAlgorithm(ReceiverRing(capacity))
+        self.data = deque()     # sender -> receiver transfers (in order)
+        self.adverts = deque()  # receiver -> sender ADVERTs (in order)
+        self.delivered = []
+
+    # -- actions -----------------------------------------------------------
+    def post_recv(self, length, waitall=False):
+        entry, advert = self.receiver.post_recv(length, waitall=waitall)
+        if advert is not None:
+            self.adverts.append(advert)
+        return entry
+
+    def send(self, nbytes):
+        """Sender pushes *nbytes*; transfers enter the data channel."""
+        remaining = nbytes
+        plans = []
+        while remaining:
+            plan = self.sender.next_transfer(remaining)
+            if plan is None:
+                break
+            plans.append(plan)
+            self.data.append(plan)
+            remaining -= plan.nbytes
+        return plans
+
+    def deliver_advert(self, count=None):
+        n = len(self.adverts) if count is None else count
+        for _ in range(n):
+            self.sender.on_advert(self.adverts.popleft())
+
+    def deliver_data(self, count=None):
+        n = len(self.data) if count is None else count
+        for _ in range(n):
+            plan = self.data.popleft()
+            if isinstance(plan, DirectPlan):
+                done = self.receiver.on_direct_arrival(
+                    plan.seq, plan.nbytes, plan.advert.advert_id, plan.buffer_offset
+                )
+                self.delivered.extend(done)
+            else:
+                off = plan.seq
+                for seg in plan.segments:
+                    self.receiver.on_indirect_arrival(off, seg)
+                    off += seg.nbytes
+
+    def drain_copies(self):
+        while True:
+            plan = self.receiver.next_copy()
+            if plan is None:
+                break
+            self.delivered.extend(self.receiver.on_copied(plan))
+            self.sender.ring.on_copy_ack(self.receiver.ring.copied_total)
+        for _entry, advert in self.receiver.flush_adverts():
+            self.adverts.append(advert)
+
+
+def test_fig1_indirect_crosses_multiple_adverts():
+    """Fig. 1: an indirect transfer crosses several in-flight ADVERTs; the
+    phase mechanism must prevent any of them from being matched later."""
+    w = Wire()
+    # Receiver posts several recvs; adverts are in flight (not yet delivered).
+    for _ in range(3):
+        w.post_recv(10)
+    # Sender, having no adverts yet, sends indirectly.
+    w.send(25)
+    assert w.sender.phase == 1
+    # The crossed adverts now arrive — all stale (seq 0 < sender seq 25).
+    w.deliver_advert()
+    plans = w.send(5)
+    assert all(isinstance(p, IndirectPlan) for p in plans)
+    assert w.sender.stats.adverts_discarded == 3
+    # Receiver consumes everything from the buffer, in order.
+    w.deliver_data()
+    w.drain_copies()
+    assert w.receiver.seq == 30
+    assert [e.filled for e in w.delivered] == [10, 10, 10]
+
+
+def test_fig6_fig7_no_advert_until_prior_phase_satisfied():
+    """Figs. 6/7: after an indirect transfer, the receiver must not send new
+    ADVERTs until the buffer is drained and every prior-phase exs_recv has
+    been satisfied — otherwise a later ADVERT could be matched at the wrong
+    stream position."""
+    w = Wire()
+    w.post_recv(10)
+    w.post_recv(10)
+    w.deliver_advert()
+    w.send(20)                     # two direct transfers
+    w.deliver_data()
+    # Sender runs ahead: the next send becomes indirect.
+    w.send(12)
+    assert w.sender.phase == 1
+    w.deliver_data()
+    assert w.receiver.phase == 1
+    # Receiver posts a new recv mid-drain: Fig. 7's fix = suppress the ADVERT.
+    w.post_recv(10)
+    assert len(w.adverts) == 0
+    assert w.receiver.unadvertised_recvs == 1
+    w.drain_copies()               # 10 bytes satisfy the queued recv ...
+    # ... but 2 bytes remain buffered, so a fresh recv is still suppressed.
+    w.post_recv(10)
+    assert len(w.adverts) == 0
+    w.drain_copies()               # ring fully drained now
+    # Only now may the receiver advertise again — resynchronised.
+    w.post_recv(10)
+    assert len(w.adverts) == 1
+    advert = w.adverts[0]
+    assert advert.seq == 32 == w.sender.seq == w.receiver.seq
+    assert advert.phase == 2
+    # And the sender accepts it, returning to direct mode.
+    w.deliver_advert()
+    (plan,) = w.send(5)
+    assert isinstance(plan, DirectPlan)
+    w.deliver_data()
+    w.drain_copies()
+    total = sum(e.filled for e in w.delivered)
+    assert total == 37 == w.receiver.seq
+
+
+def test_fig8_sender_must_skip_generation_on_stale_newer_phase():
+    """Fig. 8: when a stale ADVERT arrives with a *newer* phase, the sender
+    must advance past that phase so later ADVERTs of the same generation
+    cannot accidentally match on sequence number."""
+    w = Wire()
+    # Round 1: indirect burst of 20 bytes.
+    w.send(20)
+    w.deliver_data()
+    # Three recvs arrive while the buffer holds data: all unadvertised.
+    for _ in range(3):
+        w.post_recv(10)
+    assert len(w.adverts) == 0
+    # Draining satisfies the first two recvs and empties the buffer; the
+    # third is re-advertised at the true position (seq 20), phase 2.
+    w.drain_copies()
+    assert [(a.phase, a.seq) for a in w.adverts] == [(2, 20)]
+    # Meanwhile the sender (still phase 1) pushes 15 more bytes indirectly.
+    w.send(15)
+    assert w.sender.seq == 35
+    # The phase-2 advert now arrives: stale (seq 20 < 35); the sender must
+    # skip past generation 2 entirely.
+    w.deliver_advert()
+    plans = w.send(5)
+    assert w.sender.stats.adverts_discarded == 1
+    assert w.sender.phase == 3
+    assert all(isinstance(p, IndirectPlan) for p in plans)
+    # A *forged* generation-2 advert whose seq coincidentally matches the
+    # sender's position must also be rejected — the exact Fig. 8 corruption.
+    w.adverts.append(
+        Advert(advert_id=999, seq=w.sender.seq, length=10, phase=2)
+    )
+    w.deliver_advert()
+    plans = w.send(5)
+    assert all(isinstance(p, IndirectPlan) for p in plans)
+    assert w.sender.stats.adverts_discarded == 2
+    # Everything still lands intact via the buffer.
+    w.deliver_data()
+    w.post_recv(10)
+    w.post_recv(20)
+    w.drain_copies()
+    assert w.receiver.seq == w.sender.seq == 45
+
+
+def test_full_cycle_direct_indirect_direct_integrity():
+    """End-to-end lockstep cycle through both modes preserves the stream."""
+    w = Wire(capacity=64)
+    sent = 0
+    for round_no in range(6):
+        for _ in range(2):
+            w.post_recv(16)
+        if round_no % 2 == 0:
+            w.deliver_advert()  # adverts arrive in time -> direct
+        w.send(32)
+        sent += 32
+        w.deliver_data()
+        w.drain_copies()
+        w.deliver_advert()
+    assert w.receiver.seq == sent
+    assert w.sender.stats.direct_transfers > 0
+    assert w.sender.stats.indirect_transfers > 0
+    assert w.sender.stats.mode_switches >= 2

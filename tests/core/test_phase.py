@@ -1,0 +1,54 @@
+"""Phase algebra (paper §III) — unit and property tests."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.phase import (
+    INITIAL_PHASE,
+    is_direct,
+    is_indirect,
+    next_phase,
+    to_direct,
+    to_indirect,
+)
+
+
+def test_initial_phase_is_direct():
+    assert INITIAL_PHASE == 0
+    assert is_direct(INITIAL_PHASE)
+
+
+def test_parity_convention():
+    assert is_direct(0) and is_direct(2) and is_direct(100)
+    assert is_indirect(1) and is_indirect(3) and is_indirect(99)
+
+
+def test_next_phase_flips_parity():
+    assert next_phase(0) == 1
+    assert next_phase(7) == 8
+
+
+@given(st.integers(min_value=0, max_value=10**9))
+def test_exactly_one_of_direct_indirect(p):
+    assert is_direct(p) != is_indirect(p)
+
+
+@given(st.integers(min_value=0, max_value=10**9))
+def test_next_phase_monotone_and_flips(p):
+    n = next_phase(p)
+    assert n > p
+    assert is_direct(n) != is_direct(p)
+
+
+@given(st.integers(min_value=0, max_value=10**9))
+def test_to_direct_properties(p):
+    d = to_direct(p)
+    assert is_direct(d)
+    assert p <= d <= p + 1
+
+
+@given(st.integers(min_value=0, max_value=10**9))
+def test_to_indirect_properties(p):
+    i = to_indirect(p)
+    assert is_indirect(i)
+    assert p <= i <= p + 1

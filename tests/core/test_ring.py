@@ -1,0 +1,137 @@
+"""Circular intermediate-buffer accounting — unit and property tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ring import ReceiverRing, RingError, RingSegment, SenderRingView
+
+
+# -- sender view ---------------------------------------------------------
+def test_sender_reserve_basic():
+    v = SenderRingView(100)
+    segs = v.reserve(30)
+    assert segs == [RingSegment(0, 30)]
+    assert v.free == 70
+    assert v.in_flight == 30
+
+
+def test_sender_reserve_wraps_into_two_segments():
+    v = SenderRingView(100)
+    v.reserve(80)
+    v.on_copy_ack(80)  # all copied out
+    segs = v.reserve(50)
+    assert segs == [RingSegment(80, 20), RingSegment(0, 30)]
+    assert v.free == 50
+
+
+def test_sender_reserve_over_free_rejected():
+    v = SenderRingView(100)
+    v.reserve(100)
+    with pytest.raises(RingError):
+        v.reserve(1)
+
+
+def test_sender_ack_is_cumulative_and_idempotent():
+    v = SenderRingView(100)
+    v.reserve(60)
+    v.on_copy_ack(40)
+    assert v.free == 80
+    v.on_copy_ack(30)  # stale: ignored
+    assert v.free == 80
+    v.on_copy_ack(40)  # duplicate: ignored
+    assert v.free == 80
+
+
+def test_sender_ack_beyond_sent_rejected():
+    v = SenderRingView(100)
+    v.reserve(10)
+    with pytest.raises(RingError):
+        v.on_copy_ack(11)
+
+
+def test_ring_validation():
+    with pytest.raises(RingError):
+        SenderRingView(0)
+    with pytest.raises(RingError):
+        ReceiverRing(-5)
+    with pytest.raises(RingError):
+        RingSegment(0, 0)
+    v = SenderRingView(10)
+    with pytest.raises(RingError):
+        v.reserve(0)
+
+
+# -- receiver ring ---------------------------------------------------------
+def test_receiver_arrival_and_consume():
+    r = ReceiverRing(100)
+    r.on_arrival(RingSegment(0, 40))
+    assert r.stored == 40
+    segs = r.consume(25)
+    assert segs == [RingSegment(0, 25)]
+    assert r.stored == 15
+    assert r.copied_total == 25
+    assert r.read_offset == 25
+
+
+def test_receiver_rejects_misplaced_arrival():
+    r = ReceiverRing(100)
+    with pytest.raises(RingError, match="diverged"):
+        r.on_arrival(RingSegment(10, 5))
+
+
+def test_receiver_rejects_overflow():
+    r = ReceiverRing(100)
+    r.on_arrival(RingSegment(0, 90))
+    with pytest.raises(RingError, match="overflow"):
+        r.on_arrival(RingSegment(90, 20))
+
+
+def test_receiver_consume_wraps():
+    r = ReceiverRing(100)
+    r.on_arrival(RingSegment(0, 90))
+    r.consume(90)
+    r.on_arrival(RingSegment(90, 10))
+    r.on_arrival(RingSegment(0, 20))
+    segs = r.consume(30)
+    assert segs == [RingSegment(90, 10), RingSegment(0, 20)]
+
+
+def test_receiver_consume_more_than_stored_rejected():
+    r = ReceiverRing(100)
+    r.on_arrival(RingSegment(0, 10))
+    with pytest.raises(RingError):
+        r.consume(11)
+
+
+# -- paired property: sender view and receiver ring stay consistent ---------
+@settings(max_examples=200, deadline=None)
+@given(
+    capacity=st.integers(min_value=1, max_value=128),
+    ops=st.lists(
+        st.tuples(st.sampled_from(["send", "drain"]), st.integers(min_value=1, max_value=64)),
+        max_size=80,
+    ),
+)
+def test_paired_ring_views_never_diverge(capacity, ops):
+    """Drive a sender view and receiver ring in lockstep with random
+    sends/drains: offsets always line up, byte conservation always holds."""
+    sender = SenderRingView(capacity)
+    receiver = ReceiverRing(capacity)
+    for op, n in ops:
+        if op == "send":
+            n = min(n, sender.free)
+            if n == 0:
+                continue
+            for seg in sender.reserve(n):
+                receiver.on_arrival(seg)  # raises on any divergence
+        else:
+            n = min(n, receiver.stored)
+            if n == 0:
+                continue
+            receiver.consume(n)
+            sender.on_copy_ack(receiver.copied_total)
+        # conservation invariants
+        assert receiver.written_total - receiver.copied_total == receiver.stored
+        assert sender.in_flight >= receiver.stored  # acks may lag, never lead
+        assert 0 <= sender.free <= capacity

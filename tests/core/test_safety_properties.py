@@ -1,0 +1,203 @@
+"""Property-based verification of the protocol's safety theorem.
+
+Hypothesis drives the pure sender/receiver state machines through random
+interleavings of sends, receives, deliveries, copies and ADVERT arrivals —
+with both channels strictly in-order (the RC transport guarantee the
+algorithm assumes).  Because every runtime invariant from
+:mod:`repro.core.invariants` is armed, each example doubles as a model
+check of Lemmas 1/4 and Theorem 1; the explicit assertions then verify:
+
+* **no loss / no reorder / no duplication** — the receiver's byte stream is
+  exactly the sender's (tracked via per-byte stream offsets);
+* **completion order** — exs_recv completions happen in posting order;
+* **liveness** — once all traffic is delivered and drained, nothing is
+  stuck: all sent bytes were consumed.
+"""
+
+from collections import deque
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DirectPlan,
+    ProtocolMode,
+    ReceiverAlgorithm,
+    ReceiverRing,
+    SenderAlgorithm,
+    SenderRingView,
+)
+
+
+class Model:
+    """The two state machines plus in-order channels and integrity ledger."""
+
+    def __init__(self, capacity: int, mode: ProtocolMode):
+        self.mode = mode
+        self.sender = SenderAlgorithm(SenderRingView(capacity), mode=mode)
+        self.receiver = ReceiverAlgorithm(ReceiverRing(capacity), mode=mode)
+        self.data_wire = deque()
+        self.advert_wire = deque()
+        self.sent_bytes = 0
+        self.completions = []  # (recv_id, filled)
+        self.delivered_bytes = 0
+        #: bytes the sender still owes from user sends (head-of-line model)
+        self.send_backlog = 0
+
+    # -- steps -------------------------------------------------------------
+    def user_send(self, nbytes: int) -> None:
+        self.send_backlog += nbytes
+
+    def pump_sender(self) -> None:
+        while self.send_backlog:
+            plan = self.sender.next_transfer(self.send_backlog)
+            if plan is None:
+                return
+            self.send_backlog -= plan.nbytes
+            self.sent_bytes += plan.nbytes
+            self.data_wire.append(plan)
+
+    def user_recv(self, nbytes: int, waitall: bool) -> None:
+        _entry, advert = self.receiver.post_recv(nbytes, waitall=waitall)
+        if advert is not None:
+            self.advert_wire.append(advert)
+
+    def deliver_one_data(self) -> None:
+        if not self.data_wire:
+            return
+        plan = self.data_wire.popleft()
+        if isinstance(plan, DirectPlan):
+            done = self.receiver.on_direct_arrival(
+                plan.seq, plan.nbytes, plan.advert.advert_id, plan.buffer_offset
+            )
+            self._complete(done)
+        else:
+            off = plan.seq
+            for seg in plan.segments:
+                self.receiver.on_indirect_arrival(off, seg)
+                off += seg.nbytes
+
+    def deliver_one_advert(self) -> None:
+        if self.advert_wire:
+            self.sender.on_advert(self.advert_wire.popleft())
+
+    def copy_once(self) -> None:
+        plan = self.receiver.next_copy()
+        if plan is None:
+            return
+        self._complete(self.receiver.on_copied(plan))
+        self.sender.ring.on_copy_ack(self.receiver.ring.copied_total)
+        for _entry, advert in self.receiver.flush_adverts():
+            self.advert_wire.append(advert)
+
+    def _complete(self, entries) -> None:
+        for e in entries:
+            self.completions.append((e.recv_id, e.filled))
+            self.delivered_bytes += e.filled
+
+    # -- final checks --------------------------------------------------------
+    def drain(self) -> None:
+        """Deliver everything in flight and keep the system moving until all
+        sent bytes are consumed (bounded loop: progress is guaranteed)."""
+        for _ in range(10_000):
+            if (
+                not self.data_wire
+                and not self.send_backlog
+                and self.receiver.ring.is_empty
+            ):
+                break
+            self.pump_sender()
+            while self.data_wire:
+                self.deliver_one_data()
+            while self.advert_wire:
+                self.deliver_one_advert()
+            self.copy_once()
+            if self.receiver.pending_recvs == 0:
+                # guarantee forward progress for whatever remains
+                self.user_recv(1 << 16, False)
+        else:  # pragma: no cover
+            raise AssertionError("model failed to drain (liveness violation)")
+
+    def check(self) -> None:
+        # stream integrity: the receiver consumed exactly the bytes sent
+        assert self.receiver.seq == self.sent_bytes
+        # bytes are conserved: completed deliveries plus bytes sitting in
+        # still-pending (WAITALL) entries account for everything sent
+        residual = sum(e.filled for e in self.receiver.queue)
+        assert self.delivered_bytes + residual == self.sent_bytes
+        # completion order == posting order (recv_ids are monotone)
+        ids = [rid for rid, _n in self.completions]
+        assert ids == sorted(ids)
+        # no duplicated completion ids
+        assert len(ids) == len(set(ids))
+
+
+STEP = st.one_of(
+    st.tuples(st.just("send"), st.integers(1, 300)),
+    st.tuples(st.just("recv"), st.integers(1, 200), st.booleans()),
+    st.tuples(st.just("deliver_data"), st.integers(1, 4)),
+    st.tuples(st.just("deliver_advert"), st.integers(1, 4)),
+    st.tuples(st.just("copy"), st.integers(1, 3)),
+    st.tuples(st.just("pump"),),
+)
+
+
+def run_model(mode: ProtocolMode, capacity: int, steps) -> Model:
+    m = Model(capacity, mode)
+    for step in steps:
+        kind = step[0]
+        if kind == "send":
+            m.user_send(step[1])
+            m.pump_sender()
+        elif kind == "recv":
+            # keep the receive queue bounded so runs terminate
+            if m.receiver.pending_recvs < 50:
+                m.user_recv(step[1], step[2] if mode is not ProtocolMode.DIRECT_ONLY else False)
+        elif kind == "deliver_data":
+            for _ in range(step[1]):
+                m.deliver_one_data()
+        elif kind == "deliver_advert":
+            for _ in range(step[1]):
+                m.deliver_one_advert()
+        elif kind == "copy":
+            for _ in range(step[1]):
+                m.copy_once()
+        elif kind == "pump":
+            m.pump_sender()
+    m.drain()
+    m.check()
+    return m
+
+
+@settings(max_examples=250, deadline=None)
+@given(
+    capacity=st.integers(16, 512),
+    steps=st.lists(STEP, min_size=1, max_size=120),
+)
+def test_dynamic_protocol_safety(capacity, steps):
+    run_model(ProtocolMode.DYNAMIC, capacity, steps)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    capacity=st.integers(16, 512),
+    steps=st.lists(STEP, min_size=1, max_size=80),
+)
+def test_indirect_only_protocol_safety(capacity, steps):
+    run_model(ProtocolMode.INDIRECT_ONLY, capacity, steps)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    capacity=st.integers(16, 512),
+    steps=st.lists(STEP, min_size=1, max_size=80),
+)
+def test_direct_only_protocol_safety(capacity, steps):
+    run_model(ProtocolMode.DIRECT_ONLY, capacity, steps)
+
+
+@settings(max_examples=60, deadline=None)
+@given(steps=st.lists(STEP, min_size=10, max_size=200))
+def test_tiny_buffer_stress(steps):
+    """A pathologically small intermediate buffer (heavy wrap-and-block traffic)."""
+    run_model(ProtocolMode.DYNAMIC, 7, steps)

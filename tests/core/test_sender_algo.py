@@ -1,0 +1,159 @@
+"""Sender matching algorithm (paper Fig. 2) — unit tests."""
+
+import pytest
+
+from repro.core import (
+    Advert,
+    DirectPlan,
+    IndirectPlan,
+    ProtocolMode,
+    SenderAlgorithm,
+    SenderRingView,
+)
+from repro.core.invariants import SafetyViolation
+
+
+def make_sender(capacity=100, mode=ProtocolMode.DYNAMIC):
+    return SenderAlgorithm(SenderRingView(capacity), mode=mode)
+
+
+def adv(aid, seq, length, phase=0, waitall=False):
+    return Advert(advert_id=aid, seq=seq, length=length, phase=phase, waitall=waitall)
+
+
+def test_direct_match_consumes_advert():
+    s = make_sender()
+    s.on_advert(adv(1, 0, 50))
+    plan = s.next_transfer(30)
+    assert isinstance(plan, DirectPlan)
+    assert plan.nbytes == 30 and plan.seq == 0 and plan.phase == 0
+    assert plan.advert_done  # non-WAITALL adverts are single-shot
+    assert s.seq == 30
+    assert s.pending_advert_count == 0
+
+
+def test_send_split_across_adverts_and_buffer():
+    s = make_sender(capacity=100)
+    s.on_advert(adv(1, 0, 20))
+    s.on_advert(adv(2, 1, 25))
+    p1 = s.next_transfer(200)
+    p2 = s.next_transfer(200 - p1.nbytes)
+    p3 = s.next_transfer(200 - p1.nbytes - p2.nbytes)
+    assert (p1.nbytes, p2.nbytes) == (20, 25)
+    assert isinstance(p3, IndirectPlan) and p3.nbytes == 100
+    assert s.seq == 145
+    assert s.stats.mode_switches == 1
+
+
+def test_waitall_advert_held_at_head_until_full():
+    s = make_sender()
+    s.on_advert(adv(1, 0, 100, waitall=True))
+    p1 = s.next_transfer(40)
+    assert not p1.advert_done and p1.buffer_offset == 0
+    p2 = s.next_transfer(30)
+    assert not p2.advert_done and p2.buffer_offset == 40
+    p3 = s.next_transfer(30)
+    assert p3.advert_done and p3.buffer_offset == 70
+    assert s.pending_advert_count == 0
+
+
+def test_blocked_when_no_advert_and_no_space():
+    s = make_sender(capacity=10)
+    assert isinstance(s.next_transfer(5), IndirectPlan)
+    assert isinstance(s.next_transfer(5), IndirectPlan)
+    assert s.next_transfer(5) is None
+    assert s.is_blocked_on_space
+    assert s.stats.sender_blocked == 1
+    s.ring.on_copy_ack(10)
+    assert isinstance(s.next_transfer(5), IndirectPlan)
+
+
+def test_indirect_plan_wraps_with_two_segments():
+    s = make_sender(capacity=100)
+    s.next_transfer(80)
+    s.ring.on_copy_ack(80)
+    plan = s.next_transfer(40)
+    assert isinstance(plan, IndirectPlan)
+    assert len(plan.segments) == 2
+    assert plan.total_bytes == 40
+    assert s.stats.indirect_transfers == 3  # 1 + 2 segments
+
+
+def test_stale_advert_discarded_by_seq():
+    s = make_sender()
+    s.next_transfer(50)  # indirect; phase 1, seq 50
+    s.on_advert(adv(1, 0, 100, phase=0))  # S_A < S_s
+    assert s.next_transfer(10).phase == 1  # indirect again
+    assert s.stats.adverts_discarded == 1
+
+
+def test_resync_advert_accepted_and_phase_follows():
+    s = make_sender()
+    s.next_transfer(50)  # indirect; phase 1
+    s.on_advert(adv(5, 50, 100, phase=2))  # matching seq, newer direct phase
+    plan = s.next_transfer(10)
+    assert isinstance(plan, DirectPlan)
+    assert plan.phase == 2
+    assert s.phase == 2
+    assert s.stats.mode_switches == 2
+
+
+def test_fig8_hazard_phase_skip():
+    """Discarding a stale ADVERT from a newer phase must skip the sender past
+    that whole generation (paper Fig. 8)."""
+    s = make_sender()
+    s.next_transfer(50)  # phase 1, seq 50
+    # Receiver resynced at estimate 10 (stale) in phase 2; sender is at 50.
+    s.on_advert(adv(7, 10, 100, phase=2))
+    plan = s.next_transfer(10)  # discards; phase must jump past 2
+    assert s.phase == 3
+    assert isinstance(plan, IndirectPlan)
+    # A later advert from the same generation with a *coincidentally* matching
+    # seq must also be rejected (its phase 2 < sender phase 3).
+    s.on_advert(adv(8, s.seq, 100, phase=2))
+    plan2 = s.next_transfer(10)
+    assert isinstance(plan2, IndirectPlan)
+    assert s.stats.adverts_discarded == 2
+
+
+def test_lemma4_checked_at_runtime():
+    """Mid-direct-phase ADVERTs must carry the sender's phase (Lemma 4);
+    feeding an inconsistent one trips the runtime check."""
+    s = make_sender()
+    s.on_advert(adv(1, 0, 10))
+    s.next_transfer(10)  # direct, phase 0
+    s.on_advert(adv(2, 10, 10, phase=2))  # impossible per Lemma 4
+    with pytest.raises(SafetyViolation, match="Lemma 4"):
+        s.next_transfer(5)
+
+
+def test_direct_only_mode_never_uses_buffer():
+    s = make_sender(mode=ProtocolMode.DIRECT_ONLY)
+    assert s.next_transfer(10) is None  # blocked, not indirect
+    s.on_advert(adv(1, 0, 10))
+    assert isinstance(s.next_transfer(10), DirectPlan)
+    assert s.stats.indirect_transfers == 0
+
+
+def test_indirect_only_mode_rejects_adverts():
+    s = make_sender(mode=ProtocolMode.INDIRECT_ONLY)
+    with pytest.raises(ValueError):
+        s.on_advert(adv(1, 0, 10))
+    assert isinstance(s.next_transfer(10), IndirectPlan)
+
+
+def test_zero_remaining_rejected():
+    s = make_sender()
+    with pytest.raises(ValueError):
+        s.next_transfer(0)
+
+
+def test_stats_byte_accounting():
+    s = make_sender(capacity=1000)
+    s.on_advert(adv(1, 0, 100))
+    s.next_transfer(60)
+    s.next_transfer(40)
+    assert s.stats.direct_bytes == 60
+    assert s.stats.indirect_bytes == 40
+    assert s.stats.direct_ratio == 0.5
+    assert s.stats.total_bytes == 100

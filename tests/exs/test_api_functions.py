@@ -1,0 +1,91 @@
+"""The ES-API style free functions (exs_*)."""
+
+import pytest
+
+from helpers import run_procs
+from repro.exs import (
+    ExsEventType,
+    MsgFlags,
+    SocketType,
+    exs_accept,
+    exs_bind_listen,
+    exs_close,
+    exs_connect,
+    exs_mderegister,
+    exs_mregister,
+    exs_qcreate,
+    exs_qdequeue,
+    exs_recv,
+    exs_send,
+    exs_socket,
+)
+
+
+def test_full_exchange_via_free_functions(testbed):
+    out = {}
+
+    def server():
+        stack = testbed.server
+        lsock = exs_socket(stack)
+        exs_bind_listen(lsock, 4700)
+        eq = exs_qcreate(stack)
+        exs_accept(lsock, eq, context="listener")
+        ev = yield exs_qdequeue(eq)
+        assert ev.kind is ExsEventType.ACCEPT and ev.context == "listener"
+        sock = ev.socket
+        buf = stack.alloc(128)
+        mr = yield from exs_mregister(stack, buf)
+        exs_recv(sock, buf, mr, 128, eq, flags=MsgFlags.MSG_WAITALL, context="r1")
+        ev = yield exs_qdequeue(eq)
+        assert ev.kind is ExsEventType.RECV and ev.context == "r1"
+        out["data"] = buf.read(0, ev.nbytes)
+        exs_mderegister(stack, mr)
+
+    def client():
+        stack = testbed.client
+        sock = exs_socket(stack, SocketType.SOCK_STREAM)
+        eq = exs_qcreate(stack)
+        buf = stack.alloc(128)
+        buf.fill(b"E" * 128)
+        mr = yield from exs_mregister(stack, buf)
+        exs_connect(sock, 4700, eq)
+        ev = yield exs_qdequeue(eq)
+        assert ev.kind is ExsEventType.CONNECT
+        exs_send(sock, buf, mr, 128, eq, context="s1")
+        ev = yield exs_qdequeue(eq)
+        assert ev.kind is ExsEventType.SEND and ev.context == "s1"
+        exs_close(sock, eq)
+        ev = yield exs_qdequeue(eq)
+        assert ev.kind is ExsEventType.CLOSE
+
+    run_procs(testbed.sim, server(), client(), max_events=10_000_000)
+    assert out["data"] == b"E" * 128
+
+
+def test_connect_refused_posts_error_event(testbed):
+    def client():
+        stack = testbed.client
+        sock = exs_socket(stack)
+        eq = exs_qcreate(stack)
+        exs_connect(sock, 9999, eq)  # nobody listening... and no listener at all
+        ev = yield exs_qdequeue(eq)
+        return ev
+
+    # no listener anywhere: the CM rejects at the peer
+    testbed.server.cm.listen(1)  # ensure the CM handler exists on the peer
+    (ev,) = run_procs(testbed.sim, client(), max_events=1_000_000)
+    assert ev.kind is ExsEventType.ERROR
+    assert "refused" in ev.error
+
+
+def test_mregister_costs_time(testbed):
+    stack = testbed.client
+
+    def proc():
+        buf = stack.alloc(1 << 20)
+        before = testbed.now
+        _mr = yield from exs_mregister(stack, buf)
+        return testbed.now - before
+
+    (elapsed,) = run_procs(testbed.sim, proc())
+    assert elapsed >= stack.mregister_base_ns

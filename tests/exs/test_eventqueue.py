@@ -1,0 +1,85 @@
+"""EXS event queues: ordering, wake-up latency, overflow."""
+
+import pytest
+
+from helpers import run_procs
+from repro.exs.eventqueue import ExsEvent, ExsEventQueue, ExsEventType
+from repro.verbs.comp_channel import fixed_wakeup
+
+
+def ev(i):
+    return ExsEvent(kind=ExsEventType.RECV, socket=None, nbytes=i)
+
+
+def test_fifo_delivery(sim):
+    eq = ExsEventQueue(sim)
+    eq.post(ev(1))
+    eq.post(ev(2))
+    got = []
+
+    def consumer():
+        a = yield eq.dequeue()
+        b = yield eq.dequeue()
+        got.extend([a.nbytes, b.nbytes])
+
+    run_procs(sim, consumer())
+    assert got == [1, 2]
+
+
+def test_no_wakeup_cost_when_events_queued(sim):
+    eq = ExsEventQueue(sim, wakeup=fixed_wakeup(7000))
+    eq.post(ev(1))
+
+    def consumer():
+        yield eq.dequeue()
+        return sim.now
+
+    assert run_procs(sim, consumer()) == [0]
+    assert eq.slept_wakeups == 0
+
+
+def test_wakeup_cost_when_blocked(sim):
+    eq = ExsEventQueue(sim, wakeup=fixed_wakeup(7000))
+
+    def consumer():
+        yield eq.dequeue()
+        return sim.now
+
+    def producer():
+        yield sim.timeout(100)
+        eq.post(ev(1))
+
+    results = run_procs(sim, consumer(), producer())
+    assert results[0] == 100 + 7000
+    assert eq.slept_wakeups == 1
+
+
+def test_try_dequeue(sim):
+    eq = ExsEventQueue(sim)
+    assert eq.try_dequeue() is None
+    eq.post(ev(5))
+    assert eq.try_dequeue().nbytes == 5
+
+
+def test_overflow_guard(sim):
+    eq = ExsEventQueue(sim, depth=2)
+    eq.post(ev(1))
+    eq.post(ev(2))
+    with pytest.raises(RuntimeError, match="overflow"):
+        eq.post(ev(3))
+
+
+def test_delivered_counter(sim):
+    eq = ExsEventQueue(sim)
+    for i in range(3):
+        eq.post(ev(i))
+    assert eq.delivered == 3
+    assert len(eq) == 3
+
+
+def test_event_ok_and_flags():
+    good = ExsEvent(kind=ExsEventType.SEND, socket=None, nbytes=10)
+    bad = ExsEvent(kind=ExsEventType.ERROR, socket=None, error="boom")
+    assert good.ok and not bad.ok
+    eof = ExsEvent(kind=ExsEventType.RECV, socket=None, nbytes=0, eof=True)
+    assert eof.eof and eof.nbytes == 0

@@ -1,0 +1,121 @@
+"""SOCK_SEQPACKET: message boundaries, truncation, EOF."""
+
+import pytest
+
+from helpers import run_procs
+from repro.exs import BlockingSocket, SocketType
+from repro.testbed import Testbed
+
+
+def pipe(testbed, server_fn, client_fn, port=4200):
+    out = {}
+
+    def server():
+        conn = yield from BlockingSocket.accept_one(
+            testbed.server, port, SocketType.SOCK_SEQPACKET
+        )
+        out["server"] = yield from server_fn(conn)
+
+    def client():
+        conn = yield from BlockingSocket.connect(
+            testbed.client, port, SocketType.SOCK_SEQPACKET
+        )
+        out["client"] = yield from client_fn(conn)
+
+    run_procs(testbed.sim, server(), client(), max_events=20_000_000)
+    return out
+
+
+def test_message_boundaries_preserved(testbed):
+    messages = [b"one", b"two-two", b"three" * 20]
+
+    def server_fn(conn):
+        got = []
+        for _ in messages:
+            got.append((yield from conn.recv_bytes(4096)))
+        return got
+
+    def client_fn(conn):
+        for m in messages:
+            yield from conn.send_bytes(m)
+        return True
+
+    out = pipe(testbed, server_fn, client_fn)
+    # unlike a stream, three sends arrive as exactly three messages
+    assert out["server"] == messages
+
+
+def test_oversized_message_truncated(testbed):
+    def server_fn(conn):
+        return (yield from conn.recv_bytes(8))  # small buffer
+
+    def client_fn(conn):
+        n = yield from conn.send_bytes(b"0123456789ABCDEF")
+        return n
+
+    out = pipe(testbed, server_fn, client_fn)
+    assert out["server"] == b"01234567"  # cut to fit: the data-loss hazard
+    assert out["client"] == 8  # completion reports what actually moved
+
+
+def test_eof_after_close(testbed):
+    def server_fn(conn):
+        first = yield from conn.recv_bytes(64)
+        eof = yield from conn.recv_bytes(64)
+        return (first, eof)
+
+    def client_fn(conn):
+        yield from conn.send_bytes(b"last")
+        yield from conn.close()
+        return True
+
+    out = pipe(testbed, server_fn, client_fn)
+    assert out["server"] == (b"last", b"")
+
+
+def test_sender_waits_for_advert(testbed):
+    """A message posted before any exs_recv is parked until the ADVERT."""
+    out = {}
+
+    def server():
+        conn = yield from BlockingSocket.accept_one(
+            testbed.server, 4300, SocketType.SOCK_SEQPACKET
+        )
+        # delay the recv posting well past the client's send
+        yield testbed.sim.timeout(2_000_000)
+        out["recv_at"] = testbed.sim.now
+        data = yield from conn.recv_bytes(64)
+        out["data"] = data
+
+    def client():
+        conn = yield from BlockingSocket.connect(
+            testbed.client, 4300, SocketType.SOCK_SEQPACKET
+        )
+        yield from conn.send_bytes(b"parked")
+        out["send_done_at"] = testbed.sim.now
+
+    run_procs(testbed.sim, server(), client(), max_events=20_000_000)
+    assert out["data"] == b"parked"
+    # the send could not complete before the recv was posted
+    assert out["send_done_at"] > out["recv_at"]
+
+
+def test_seqpacket_is_all_zero_copy(testbed):
+    def server_fn(conn):
+        msgs = []
+        for _ in range(5):
+            msgs.append((yield from conn.recv_bytes(1024)))
+        stats = conn.sock.rx_stats
+        return (msgs, stats)
+
+    def client_fn(conn):
+        for i in range(5):
+            yield from conn.send_bytes(bytes([i]) * 100)
+        return conn.sock.tx_stats
+
+    out = pipe(testbed, server_fn, client_fn)
+    tx = out["client"]
+    assert tx.direct_transfers == 5
+    assert tx.indirect_transfers == 0
+    _msgs, rx = out["server"]
+    assert rx.copies == 0  # nothing ever goes through an intermediate buffer

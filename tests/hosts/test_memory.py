@@ -1,0 +1,100 @@
+"""Simulated memory: buffers, chunks, arena."""
+
+import pytest
+
+from repro.hosts.memory import Buffer, Chunk, MemoryArena, MemoryError_
+
+
+@pytest.fixture
+def arena():
+    return MemoryArena()
+
+
+def test_alloc_assigns_unique_aligned_addresses(arena):
+    a = arena.alloc(100)
+    b = arena.alloc(100)
+    assert a.addr != b.addr
+    assert a.addr % MemoryArena.ALIGN == 0
+    assert b.addr >= a.addr + 100
+
+
+def test_real_buffer_read_write(arena):
+    buf = arena.alloc(16)
+    buf.write(4, b"abcd")
+    assert buf.read(4, 4) == b"abcd"
+    assert buf.read(0, 4) == b"\x00" * 4
+
+
+def test_synthetic_buffer_tracks_length_only(arena):
+    buf = arena.alloc(1 << 30, real=False)  # no actual gigabyte allocated
+    assert not buf.is_real
+    buf.write(0, b"xy")  # no-op, no error
+    assert buf.read(0, 2) is None
+    assert buf.view(0, 2) is None
+
+
+def test_bounds_checked(arena):
+    buf = arena.alloc(10)
+    with pytest.raises(MemoryError_):
+        buf.write(8, b"abc")
+    with pytest.raises(MemoryError_):
+        buf.read(-1, 2)
+    with pytest.raises(MemoryError_):
+        buf.check_range(0, 11)
+
+
+def test_view_is_zero_copy(arena):
+    buf = arena.alloc(8)
+    buf.fill(b"abcdefgh")
+    view = buf.view(2, 3)
+    assert bytes(view) == b"cde"
+    buf.write(2, b"XYZ")
+    assert bytes(view) == b"XYZ"  # same storage
+
+
+def test_write_chunk(arena):
+    buf = arena.alloc(10)
+    buf.write_chunk(3, Chunk(0, 4, b"data"))
+    assert buf.read(3, 4) == b"data"
+
+
+def test_negative_alloc_rejected(arena):
+    with pytest.raises(MemoryError_):
+        arena.alloc(-1)
+
+
+def test_chunk_validation():
+    with pytest.raises(MemoryError_):
+        Chunk(0, -1)
+    with pytest.raises(MemoryError_):
+        Chunk(0, 3, b"toolong!")
+
+
+def test_chunk_split_real():
+    c = Chunk(100, 6, b"abcdef")
+    head, tail = c.split(2)
+    assert (head.stream_offset, head.nbytes, head.data) == (100, 2, b"ab")
+    assert (tail.stream_offset, tail.nbytes, tail.data) == (102, 4, b"cdef")
+
+
+def test_chunk_split_synthetic():
+    c = Chunk(50, 10)
+    head, tail = c.split(10)
+    assert head.nbytes == 10 and tail.nbytes == 0
+    assert tail.stream_offset == 60
+
+
+def test_chunk_split_out_of_range():
+    with pytest.raises(MemoryError_):
+        Chunk(0, 4, b"abcd").split(5)
+
+
+def test_chunk_end_offset():
+    assert Chunk(7, 3).end_offset == 10
+
+
+def test_arena_accounting(arena):
+    arena.alloc(100)
+    arena.alloc(200, real=False)
+    assert arena.allocated_bytes == 300
+    assert arena.buffer_count == 2

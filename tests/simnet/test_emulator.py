@@ -1,0 +1,38 @@
+"""Delay emulator and jitter samplers."""
+
+import random
+
+import pytest
+
+from repro.simnet import DelayEmulator, gaussian_jitter, uniform_jitter
+
+
+def test_fixed_delay_sampling():
+    em = DelayEmulator(5000)
+    assert em.sample_ns() == 5000
+    assert em.sample_ns() == 5000
+    assert em.samples == 2
+
+
+def test_uniform_jitter_bounds_and_determinism():
+    a = DelayEmulator(1000, jitter=uniform_jitter(500), seed=42)
+    b = DelayEmulator(1000, jitter=uniform_jitter(500), seed=42)
+    draws_a = [a.sample_ns() for _ in range(200)]
+    draws_b = [b.sample_ns() for _ in range(200)]
+    assert draws_a == draws_b
+    assert all(1000 <= d <= 1500 for d in draws_a)
+    assert len(set(draws_a)) > 10  # actually varying
+
+
+def test_gaussian_jitter_non_negative():
+    sampler = gaussian_jitter(mean_ns=100, sigma_ns=500)
+    rng = random.Random(7)
+    draws = [sampler(rng) for _ in range(500)]
+    assert all(d >= 0 for d in draws)
+    assert any(d > 0 for d in draws)
+
+
+def test_different_seeds_differ():
+    a = DelayEmulator(0, jitter=uniform_jitter(1000), seed=1)
+    b = DelayEmulator(0, jitter=uniform_jitter(1000), seed=2)
+    assert [a.sample_ns() for _ in range(20)] != [b.sample_ns() for _ in range(20)]

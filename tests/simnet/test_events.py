@@ -1,0 +1,166 @@
+"""Event primitives: success/failure, conditions, signals."""
+
+import pytest
+
+from repro.simnet import AllOf, AnyOf, Event, Signal, Timeout
+from repro.simnet.kernel import SimulationError
+
+
+class Boom(Exception):
+    pass
+
+
+def test_event_lifecycle(sim):
+    ev = Event(sim)
+    assert not ev.triggered and ev.ok is None
+    ev.succeed(42)
+    assert ev.triggered and ev.ok
+    sim.run()
+    assert ev.processed
+    assert ev.result() == 42
+
+
+def test_event_failure_propagates(sim):
+    ev = Event(sim)
+    ev.fail(Boom("bad"))
+    sim.run()
+    with pytest.raises(Boom):
+        ev.result()
+
+
+def test_double_trigger_rejected(sim):
+    ev = Event(sim)
+    ev.succeed()
+    with pytest.raises(SimulationError):
+        ev.succeed()
+    with pytest.raises(SimulationError):
+        ev.fail(Boom())
+
+
+def test_fail_requires_exception(sim):
+    with pytest.raises(SimulationError):
+        Event(sim).fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_result_before_trigger_raises(sim):
+    with pytest.raises(SimulationError):
+        Event(sim).result()
+
+
+def test_callback_after_processed_still_runs(sim):
+    ev = Event(sim)
+    ev.succeed("v")
+    sim.run()
+    got = []
+    ev.add_callback(lambda e: got.append(e.result()))
+    sim.run()
+    assert got == ["v"]
+
+
+def test_delayed_succeed(sim):
+    ev = Event(sim)
+    times = []
+    ev.add_callback(lambda e: times.append(sim.now))
+    ev.succeed(delay=75)
+    sim.run()
+    assert times == [75]
+
+
+# -- AllOf -------------------------------------------------------------------
+def test_allof_waits_for_all(sim):
+    evs = [Timeout(sim, d, value=d) for d in (10, 30, 20)]
+    cond = AllOf(sim, evs)
+    done_at = []
+    cond.add_callback(lambda e: done_at.append(sim.now))
+    sim.run()
+    assert done_at == [30]
+    assert cond.result() == [10, 30, 20]
+
+
+def test_allof_empty_succeeds_immediately(sim):
+    cond = AllOf(sim, [])
+    sim.run()
+    assert cond.result() == []
+
+
+def test_allof_fails_fast(sim):
+    bad = Event(sim)
+    slow = Timeout(sim, 1000)
+    cond = AllOf(sim, [bad, slow])
+    bad.fail(Boom(), delay=5)
+    sim.run(until=20)
+    assert cond.triggered and cond.ok is False
+
+
+# -- AnyOf -------------------------------------------------------------------
+def test_anyof_first_wins(sim):
+    a = Timeout(sim, 50, value="a")
+    b = Timeout(sim, 10, value="b")
+    cond = AnyOf(sim, [a, b])
+    sim.run()
+    assert cond.result() == (1, "b")
+
+
+def test_anyof_already_triggered_child(sim):
+    a = Event(sim)
+    a.succeed("now")
+    cond = AnyOf(sim, [a, Timeout(sim, 99)])
+    sim.run(until=1)
+    assert cond.triggered
+    assert cond.result() == (0, "now")
+
+
+def test_anyof_zero_events_rejected(sim):
+    with pytest.raises(SimulationError):
+        AnyOf(sim, [])
+
+
+# -- Signal ------------------------------------------------------------------
+def test_signal_wakes_all_waiters(sim):
+    sig = Signal(sim)
+    results = []
+
+    def waiter(tag):
+        yield sig.wait()
+        results.append((tag, sim.now))
+
+    sim.process(waiter("a"))
+    sim.process(waiter("b"))
+
+    def firer():
+        yield sim.timeout(40)
+        sig.fire()
+
+    sim.process(firer())
+    sim.run()
+    assert sorted(results) == [("a", 40), ("b", 40)]
+
+
+def test_signal_latches_when_no_waiters(sim):
+    sig = Signal(sim)
+    sig.fire()
+
+    def waiter():
+        yield sig.wait()
+        return sim.now
+
+    (t,) = [sim.run(until=sim.process(waiter()))]
+    assert t == 0  # latched fire consumed immediately
+
+
+def test_signal_latch_consumed_once(sim):
+    sig = Signal(sim)
+    sig.fire()
+    first = sig.wait()
+    second = sig.wait()
+    sim.run()
+    assert first.triggered
+    assert not second.triggered
+
+
+def test_signal_non_latching(sim):
+    sig = Signal(sim, latching=False)
+    sig.fire()  # lost: nobody waiting
+    ev = sig.wait()
+    sim.run()
+    assert not ev.triggered

@@ -1,0 +1,98 @@
+"""Kernel basics: clock, calendar ordering, run modes."""
+
+import pytest
+
+from repro.simnet import Event, Simulator, Timeout
+from repro.simnet.kernel import SimulationError
+
+
+def test_clock_starts_at_zero(sim):
+    assert sim.now == 0
+
+
+def test_timeout_advances_clock(sim):
+    fired = []
+    t = Timeout(sim, 100, value="x")
+    t.add_callback(lambda e: fired.append((sim.now, e.result())))
+    sim.run()
+    assert fired == [(100, "x")]
+
+
+def test_events_fire_in_time_order(sim):
+    order = []
+    for delay in (50, 10, 30, 10, 0):
+        Timeout(sim, delay).add_callback(lambda e, d=delay: order.append(d))
+    sim.run()
+    assert order == [0, 10, 10, 30, 50]
+
+
+def test_same_time_events_fire_in_schedule_order(sim):
+    order = []
+    for i in range(10):
+        Timeout(sim, 42).add_callback(lambda e, i=i: order.append(i))
+    sim.run()
+    assert order == list(range(10))
+
+
+def test_run_until_time_stops_clock_exactly(sim):
+    Timeout(sim, 100)
+    Timeout(sim, 300)
+    sim.run(until=200)
+    assert sim.now == 200
+    # the 300ns event is still pending
+    assert sim.peek() == 300
+
+
+def test_run_until_event_returns_value(sim):
+    def proc():
+        yield sim.timeout(25)
+        return "done"
+
+    p = sim.process(proc())
+    assert sim.run(until=p) == "done"
+    assert sim.now == 25
+
+
+def test_run_until_untriggered_event_raises(sim):
+    ev = Event(sim)  # never triggered
+    Timeout(sim, 10)
+    with pytest.raises(SimulationError, match="deadlock"):
+        sim.run(until=ev)
+
+
+def test_negative_delay_rejected(sim):
+    with pytest.raises(SimulationError):
+        sim.schedule(Event(sim), delay=-1)
+
+
+def test_non_integer_delay_rejected(sim):
+    with pytest.raises(SimulationError):
+        sim.schedule(Event(sim), delay=1.5)
+
+
+def test_max_events_guard(sim):
+    def ticker():
+        while True:
+            yield sim.timeout(1)
+
+    sim.process(ticker())
+    with pytest.raises(SimulationError, match="max_events"):
+        sim.run(max_events=100)
+
+
+def test_events_executed_counter(sim):
+    for _ in range(5):
+        Timeout(sim, 1)
+    sim.run()
+    assert sim.events_executed == 5
+
+
+def test_peek_empty_calendar(sim):
+    assert sim.peek() is None
+
+
+def test_trace_hook_invoked():
+    records = []
+    sim = Simulator(trace=lambda t, cat, msg: records.append((t, cat, msg)))
+    sim.trace("unit", "hello")
+    assert records == [(0, "unit", "hello")]

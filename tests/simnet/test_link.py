@@ -1,0 +1,137 @@
+"""Link model: serialization, propagation, ordering, emulation."""
+
+import pytest
+
+from repro.simnet import DelayEmulator, Link, uniform_jitter
+from repro.simnet.kernel import SimulationError
+
+
+def make_link(sim, bw=8e9, prop=100, overhead=10, emulator=None):
+    return Link(
+        sim,
+        bandwidth_bps=bw,
+        propagation_delay_ns=prop,
+        per_message_overhead_ns=overhead,
+        emulator=emulator,
+    )
+
+
+def one_way(link, handler):
+    """Transmit direction from endpoint 0; *handler* receives at endpoint 1."""
+    tx = link.attach(0, lambda p: None)
+    link.attach(1, handler)
+    return tx
+
+
+def test_transmission_time_math(sim):
+    link = make_link(sim, bw=8e9, overhead=10)  # 8 Gb/s = 1 byte/ns
+    assert link.transmission_ns(1000) == 10 + 1000
+    assert link.transmission_ns(0) == 10
+
+
+def test_delivery_time_and_payload(sim):
+    link = make_link(sim)
+    got = []
+    tx = one_way(link, lambda p: got.append((sim.now, p)))
+    arrival = tx.transmit("hello", 1000)
+    assert arrival == 10 + 1000 + 100
+    sim.run()
+    assert got == [(1110, "hello")]
+
+
+def test_serialization_queues_back_to_back(sim):
+    link = make_link(sim)
+    got = []
+    tx = one_way(link, lambda p: got.append(sim.now))
+    tx.transmit("a", 1000)
+    tx.transmit("b", 1000)
+    sim.run()
+    # second message waits for the first to finish serializing
+    assert got == [1110, 2120]
+
+
+def test_directions_are_independent(sim):
+    link = make_link(sim)
+    got_a, got_b = [], []
+    tx0 = link.attach(0, lambda p: got_a.append(sim.now))
+    tx1 = link.attach(1, lambda p: got_b.append(sim.now))
+    tx0.transmit("to-b", 1000)
+    tx1.transmit("to-a", 1000)
+    sim.run()
+    # full duplex: both arrive at the same time, no contention
+    assert got_a == [1110] and got_b == [1110]
+
+
+def test_extra_tx_ns_occupies_wire(sim):
+    link = make_link(sim)
+    got = []
+    tx = one_way(link, lambda p: got.append(sim.now))
+    tx.transmit("a", 1000, extra_tx_ns=500)
+    tx.transmit("b", 1000)
+    sim.run()
+    assert got == [1610, 2620]
+
+
+def test_emulator_adds_fixed_delay(sim):
+    link = make_link(sim, emulator=DelayEmulator(1_000_000))
+    got = []
+    tx = one_way(link, lambda p: got.append(sim.now))
+    tx.transmit("x", 1000)
+    sim.run()
+    assert got == [1110 + 1_000_000]
+
+
+def test_jitter_never_reorders(sim):
+    em = DelayEmulator(0, jitter=uniform_jitter(100_000), seed=3)
+    link = make_link(sim, emulator=em)
+    got = []
+    tx = one_way(link, lambda p: got.append((p, sim.now)))
+    for i in range(50):
+        tx.transmit(i, 100)
+    sim.run()
+    assert [p for p, _t in got] == list(range(50))
+    times = [t for _p, t in got]
+    assert times == sorted(times)
+
+
+def test_transmit_without_handler_rejected(sim):
+    link = make_link(sim)
+    with pytest.raises(SimulationError, match="handler"):
+        link.directions[0].transmit("x", 10)
+
+
+def test_negative_wire_bytes_rejected(sim):
+    link = make_link(sim)
+    tx = one_way(link, lambda p: None)
+    with pytest.raises(SimulationError):
+        tx.transmit("x", -1)
+
+
+def test_bad_endpoint_rejected(sim):
+    link = make_link(sim)
+    with pytest.raises(SimulationError):
+        link.attach(2, lambda p: None)
+
+
+def test_stats_accumulate(sim):
+    link = make_link(sim)
+    tx = one_way(link, lambda p: None)
+    tx.transmit("a", 500)
+    tx.transmit("b", 700)
+    assert tx.stats.messages == 2
+    assert tx.stats.wire_bytes == 1200
+
+
+def test_one_way_latency_estimate_includes_emulator(sim):
+    link = make_link(sim, emulator=DelayEmulator(5000))
+    assert link.one_way_latency_ns(0) == 10 + 100 + 5000
+
+
+def test_emulator_from_rtt():
+    em = DelayEmulator.from_rtt(48_000_000)
+    assert em.base_delay_ns == 24_000_000
+
+
+def test_emulator_rejects_negative_delay():
+    with pytest.raises(ValueError):
+        DelayEmulator(-1)

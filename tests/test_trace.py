@@ -1,0 +1,113 @@
+"""Protocol tracer: event capture, timeline rendering, CSV export."""
+
+import io
+
+import pytest
+
+from helpers import run_procs
+from repro.apps import BlastConfig, PhasedSizes, FixedSizes, run_blast
+from repro.core import ProtocolMode
+from repro.exs import BlockingSocket
+from repro.testbed import Testbed
+from repro.trace import ProtocolTracer, TraceEvent, render_timeline, summarize
+
+
+def traced_run(seed=5):
+    tb = Testbed(seed=seed)
+    tracer = ProtocolTracer.attach(tb)
+    out = {}
+
+    def server():
+        conn = yield from BlockingSocket.accept_one(tb.server, 4900)
+        got = b""
+        while len(got) < 120_000:
+            got += yield from conn.recv_bytes(50_000)
+        out["got"] = got
+
+    def client():
+        conn = yield from BlockingSocket.connect(tb.client, 4900)
+        yield from conn.send_bytes(b"t" * 120_000)
+        yield from conn.close()
+
+    run_procs(tb.sim, server(), client(), max_events=20_000_000)
+    return tracer
+
+
+def test_tracer_captures_transfer_events():
+    tracer = traced_run()
+    kinds = {e.kind for e in tracer.events}
+    # a synchronous exchange goes indirect, with copies, acks and a FIN
+    assert "indirect" in kinds
+    assert "copy" in kinds
+    assert "ring_ack" in kinds
+    assert "fin" in kinds
+    assert "advert_tx" in kinds  # receiver advertised (even if late)
+    times = [e.time_ns for e in tracer.events]
+    assert times == sorted(times)
+
+
+def test_trace_event_fields_accessible():
+    tracer = traced_run()
+    transfer = tracer.of_kind("indirect")[0]
+    assert transfer.get("nbytes") > 0
+    assert transfer.get("seq") is not None
+    assert transfer.get("missing", "dflt") == "dflt"
+
+
+def test_phase_trace_recorded_in_stats():
+    tb = Testbed(seed=5)
+    ProtocolTracer.attach(tb)
+    cfg = BlastConfig(
+        total_messages=40,
+        sizes=PhasedSizes([(FixedSizes(1 << 20), 10), (FixedSizes(32 << 10), 20),
+                           (FixedSizes(1 << 20), 10)]),
+        outstanding_sends=2, outstanding_recvs=4,
+        recv_buffer_bytes=1 << 20,
+    )
+    r = run_blast(cfg, testbed=tb, seed=5, max_events=50_000_000)
+    if r.mode_switches:
+        trace = r.tx_stats.phase_trace
+        assert len(trace) >= r.mode_switches
+        phases = [p for _t, p in trace]
+        assert phases == sorted(phases)  # monotone
+        times = [t for t, _p in trace]
+        assert times == sorted(times)
+
+
+def test_timeline_rendering():
+    tracer = traced_run()
+    art = render_timeline(tracer, width=40)
+    assert "timeline" in art
+    assert "|" in art and ("I" in art or "D" in art)
+    # an empty tracer renders gracefully
+    assert render_timeline(ProtocolTracer()) == "(no transfers recorded)"
+
+
+def test_summarize_counts():
+    tracer = traced_run()
+    text = summarize(tracer)
+    assert "conn" in text and "copy=" in text
+
+
+def test_csv_export():
+    tracer = traced_run()
+    buf = io.StringIO()
+    n = tracer.to_csv(buf)
+    lines = buf.getvalue().strip().splitlines()
+    assert len(lines) == n + 1  # header + rows
+    assert lines[0].startswith("time_ns,conn,host,kind")
+
+
+def test_capacity_drops_are_counted():
+    tracer = ProtocolTracer(capacity=2)
+    for i in range(5):
+        tracer.emit(i, 1, "h", "direct", nbytes=1)
+    assert len(tracer.events) == 2
+    assert tracer.dropped == 3
+
+
+def test_connections_listing():
+    tracer = traced_run()
+    conns = tracer.connections()
+    hosts = {host for _c, host in conns}
+    assert hosts == {"client", "server"}

@@ -1,0 +1,142 @@
+"""Connection manager: REQ/REP/RTU handshake, rejection, timing."""
+
+import pytest
+
+from helpers import run_procs
+from repro.hosts import Host
+from repro.simnet import Link
+from repro.verbs import ConnectionManager, QPState, connect_devices
+from repro.verbs.cm import ConnectionRejected
+
+
+class CmPair:
+    def __init__(self, sim, prop=1000):
+        self.sim = sim
+        self.ha, self.hb = Host(sim, "a"), Host(sim, "b")
+        self.link = Link(sim, bandwidth_bps=8e9, propagation_delay_ns=prop)
+        self.da, self.db = connect_devices(sim, self.ha, self.hb, self.link)
+        self.cma = ConnectionManager(self.da)
+        self.cmb = ConnectionManager(self.db)
+
+    def qp(self, device):
+        cq = device.create_cq()
+        return device.create_qp(cq, cq)
+
+
+@pytest.fixture
+def cm_pair(sim):
+    return CmPair(sim)
+
+
+def test_handshake_binds_qps_and_passes_private_data(sim, cm_pair):
+    out = {}
+
+    def server():
+        listener = cm_pair.cmb.listen(7)
+        req = yield listener.get_request()
+        out["server_pdata"] = req.private_data
+        qp = cm_pair.qp(cm_pair.db)
+        req.accept(qp, {"srv": True})
+        out["server_qp"] = qp
+        yield req.established
+        out["established_at"] = sim.now
+
+    def client():
+        qp = cm_pair.qp(cm_pair.da)
+        done = cm_pair.cma.connect(7, qp, {"cli": 42})
+        remote_qpn, pdata = yield done
+        out["client_pdata"] = pdata
+        out["client_qp"] = qp
+        out["connected_at"] = sim.now
+
+    run_procs(sim, server(), client())
+    assert out["server_pdata"] == {"cli": 42}
+    assert out["client_pdata"] == {"srv": True}
+    sqp, cqp = out["server_qp"], out["client_qp"]
+    assert sqp.state is QPState.READY and cqp.state is QPState.READY
+    assert sqp.remote_qpn == cqp.qpn and cqp.remote_qpn == sqp.qpn
+    # RTU takes another half-RTT after the client sees the REP
+    assert out["established_at"] > out["connected_at"]
+
+
+def test_accept_completes_half_rtt_before_connect(sim, cm_pair):
+    """The passive side is usable ~½ RTT before the active side's connect
+    returns — the window in which UNH EXS posts receives and ADVERTs."""
+    out = {}
+
+    def server():
+        listener = cm_pair.cmb.listen(1)
+        req = yield listener.get_request()
+        req.accept(cm_pair.qp(cm_pair.db))
+        out["accept_at"] = sim.now
+
+    def client():
+        qp = cm_pair.qp(cm_pair.da)
+        yield cm_pair.cma.connect(1, qp)
+        out["connect_at"] = sim.now
+
+    run_procs(sim, server(), client())
+    assert out["connect_at"] - out["accept_at"] >= cm_pair.link.propagation_delay_ns
+
+
+def test_connect_to_closed_port_rejected(sim, cm_pair):
+    cm_pair.cmb.listen(5)  # wrong port
+
+    def client():
+        qp = cm_pair.qp(cm_pair.da)
+        try:
+            yield cm_pair.cma.connect(6, qp)
+        except ConnectionRejected as exc:
+            return str(exc)
+        return None
+
+    (msg,) = run_procs(sim, client())
+    assert "refused" in msg
+
+
+def test_explicit_reject(sim, cm_pair):
+    def server():
+        listener = cm_pair.cmb.listen(2)
+        req = yield listener.get_request()
+        req.reject("full")
+
+    def client():
+        qp = cm_pair.qp(cm_pair.da)
+        try:
+            yield cm_pair.cma.connect(2, qp)
+        except ConnectionRejected as exc:
+            return str(exc)
+        return None
+
+    results = run_procs(sim, server(), client())
+    assert results[1] == "full"
+
+
+def test_double_listen_rejected(sim, cm_pair):
+    from repro.verbs import VerbsError
+
+    cm_pair.cmb.listen(3)
+    with pytest.raises(VerbsError):
+        cm_pair.cmb.listen(3)
+
+
+def test_listener_close_frees_port(sim, cm_pair):
+    listener = cm_pair.cmb.listen(4)
+    listener.close()
+    cm_pair.cmb.listen(4)  # no error
+
+
+def test_multiple_connections_same_port(sim, cm_pair):
+    def server():
+        listener = cm_pair.cmb.listen(9)
+        for _ in range(2):
+            req = yield listener.get_request()
+            req.accept(cm_pair.qp(cm_pair.db))
+
+    def client(tag):
+        qp = cm_pair.qp(cm_pair.da)
+        remote_qpn, _ = yield cm_pair.cma.connect(9, qp)
+        return remote_qpn
+
+    results = run_procs(sim, server(), client("x"), client("y"))
+    assert results[1] != results[2]

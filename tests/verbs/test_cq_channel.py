@@ -1,0 +1,102 @@
+"""Completion queues and event channels (wake-up latency model)."""
+
+import pytest
+
+from helpers import run_procs
+from repro.verbs import CompletionQueue, WCOpcode, WCStatus, WorkCompletion, fixed_wakeup
+from repro.verbs.comp_channel import CompletionChannel, uniform_wakeup
+
+
+def wc(i=0):
+    return WorkCompletion(wr_id=i, opcode=WCOpcode.SEND, status=WCStatus.SUCCESS)
+
+
+def test_poll_drains_fifo():
+    cq = CompletionQueue()
+    for i in range(3):
+        cq.push(wc(i))
+    assert [w.wr_id for w in cq.poll(2)] == [0, 1]
+    assert [w.wr_id for w in cq.poll()] == [2]
+    assert cq.poll() == []
+    assert cq.total_pushed == 3
+
+
+def test_push_does_not_notify_unarmed_channel(sim):
+    ch = CompletionChannel(sim)
+    cq = CompletionQueue(ch)
+    cq.push(wc())
+    assert ch.notifications == 0
+
+
+def test_armed_cq_notifies_once(sim):
+    ch = CompletionChannel(sim)
+    cq = CompletionQueue(ch)
+    cq.req_notify()
+    cq.push(wc(1))
+    cq.push(wc(2))  # second push: not armed any more
+    assert ch.notifications == 1
+
+
+def test_arming_with_pending_entries_does_not_fire(sim):
+    """Verbs semantics: consumers must poll before sleeping."""
+    ch = CompletionChannel(sim)
+    cq = CompletionQueue(ch)
+    cq.push(wc())
+    cq.req_notify()
+    assert ch.notifications == 0
+
+
+def test_wakeup_latency_applied_when_sleeping(sim):
+    ch = CompletionChannel(sim, wakeup=fixed_wakeup(5000))
+    cq = CompletionQueue(ch)
+
+    def sleeper():
+        cq.req_notify()
+        yield ch.wait()
+        return sim.now
+
+    def producer():
+        yield sim.timeout(100)
+        cq.push(wc())
+
+    results = run_procs(sim, sleeper(), producer())
+    assert results[0] == 100 + 5000
+    assert ch.slept_wakeups == 1
+
+
+def test_latched_notify_costs_nothing(sim):
+    ch = CompletionChannel(sim, wakeup=fixed_wakeup(5000))
+    ch.notify()  # nobody waiting: latch
+
+    def consumer():
+        yield ch.wait()
+        return sim.now
+
+    assert run_procs(sim, consumer()) == [0]
+    assert ch.slept_wakeups == 0
+
+
+def test_repeated_wait_returns_same_pending_event(sim):
+    ch = CompletionChannel(sim)
+    first = ch.wait()
+    second = ch.wait()
+    assert first is second
+
+
+def test_uniform_wakeup_within_bounds(sim):
+    import random
+
+    sampler = uniform_wakeup(10, 20)
+    rng = random.Random(0)
+    draws = [sampler(rng) for _ in range(100)]
+    assert all(10 <= d <= 20 for d in draws)
+    assert len(set(round(d, 3) for d in draws)) > 1
+
+
+def test_cq_overflow_detected():
+    cq = CompletionQueue(capacity=2)
+    cq.push(wc())
+    cq.push(wc())
+    with pytest.raises(RuntimeError, match="overflow"):
+        cq.push(wc())
+    assert cq.overflowed
