@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test bench bench-paper figures examples all
+.PHONY: install test bench bench-smoke bench-paper figures examples all
 
 install:
 	pip install -e . || python setup.py develop
@@ -10,6 +10,12 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Simulator micro-benchmarks only, with results recorded for comparison
+# against the committed BENCH_simulator.json baseline.
+bench-smoke:
+	REPRO_BENCH_QUALITY=smoke pytest benchmarks/test_simulator_performance.py \
+		--benchmark-only --benchmark-json=BENCH_simulator.json
 
 bench-paper:
 	REPRO_BENCH_QUALITY=paper pytest benchmarks/ --benchmark-only

@@ -8,28 +8,46 @@ parallel streams.  This example transfers a 256 MiB file over the emulated
 limited, so aggregate throughput scales with streams until the wire is
 full — exactly why bulk-transfer tools parallelise.
 
+The sweep itself runs through :func:`repro.sweep.run_sweep`, so the four
+independent simulations are spread across CPU cores (results are identical
+to running them serially — set ``REPRO_SWEEP_PROCESSES=1`` to check).
+
 Run:  python examples/parallel_gridftp.py
 """
 
 from repro import ExsSocketOptions, ROCE_10G_WAN
 from repro.apps import MIB, FileTransferConfig, run_file_transfer
+from repro.sweep import processes_from_env, run_sweep
 
 FILE = 256 * MIB
+STREAMS = (1, 2, 4, 8)
+
+
+def transfer(cfg: FileTransferConfig, seed: int):
+    """Sweep worker: one simulated transfer (module-level so it pickles)."""
+    return run_file_transfer(cfg, ROCE_10G_WAN, seed=seed)
 
 
 def main() -> None:
     print(f"moving a {FILE // MIB} MiB file over 10 GbE + 48 ms RTT "
           f"(1 MiB chunks, 8 outstanding per stream)\n")
-    print(f"{'streams':>8s} {'throughput':>14s} {'elapsed':>10s} {'per-stream':>12s}")
-    for streams in (1, 2, 4, 8):
-        cfg = FileTransferConfig(
+    configs = [
+        FileTransferConfig(
             file_bytes=FILE,
             streams=streams,
             chunk_bytes=1 * MIB,
             outstanding=8,
             options=ExsSocketOptions(ring_capacity=64 * MIB),
         )
-        r = run_file_transfer(cfg, ROCE_10G_WAN, seed=2)
+        for streams in STREAMS
+    ]
+    results = run_sweep(
+        configs, transfer,
+        processes=processes_from_env(default=0),  # default: one per CPU
+        seeds=[2] * len(configs),
+    )
+    print(f"{'streams':>8s} {'throughput':>14s} {'elapsed':>10s} {'per-stream':>12s}")
+    for streams, r in zip(STREAMS, results):
         per = sum(s.throughput_bps for s in r.streams) / len(r.streams) / 1e9
         print(f"{streams:>8d} {r.throughput_gbps:>11.2f} Gb/s {r.elapsed_s:>8.2f} s "
               f"{per:>9.2f} Gb/s")

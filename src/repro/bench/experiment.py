@@ -20,6 +20,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from ..apps.blast import BlastConfig, BlastResult, run_blast
 from ..apps.metrics import MeanCI, mean_ci
+from ..sweep import run_sweep
 from .profiles import FDR_INFINIBAND, HardwareProfile
 
 __all__ = [
@@ -30,6 +31,7 @@ __all__ = [
     "quality_from_env",
     "AggregateResult",
     "run_repeated",
+    "run_grid",
 ]
 
 
@@ -83,25 +85,21 @@ class AggregateResult:
         return self.throughput_bps.mean / 1e6
 
 
-def run_repeated(
-    config: BlastConfig,
-    profile: HardwareProfile = FDR_INFINIBAND,
-    quality: RunQuality = QUICK,
-    *,
-    max_events: Optional[int] = 400_000_000,
-) -> AggregateResult:
-    """Run *config* once per seed and aggregate the paper's metrics.
+def _blast_worker(unit, seed: int) -> BlastResult:
+    """Sweep worker: one simulation run.  Module-level so it pickles."""
+    cfg, profile, max_events = unit
+    return run_blast(cfg, profile, seed=seed, max_events=max_events)
 
-    Each repetition reseeds both the testbed (wake-up latencies) and the
-    message-size generator, as independent runs of the real tool would.
-    """
-    runs: List[BlastResult] = []
-    for seed in quality.seeds:
-        sizes = config.sizes
-        if hasattr(sizes, "seed"):
-            sizes = replace_seed(sizes, seed)
-        cfg = replace(config, sizes=sizes)
-        runs.append(run_blast(cfg, profile, seed=seed, max_events=max_events))
+
+def _reseeded(config: BlastConfig, seed: int) -> BlastConfig:
+    """The per-repetition config: message-size generator mixed with *seed*."""
+    sizes = config.sizes
+    if hasattr(sizes, "seed"):
+        sizes = replace_seed(sizes, seed)
+    return replace(config, sizes=sizes)
+
+
+def _aggregate(runs: List[BlastResult]) -> AggregateResult:
     return AggregateResult(
         throughput_bps=mean_ci([r.throughput_bps for r in runs]),
         receiver_cpu=mean_ci([r.receiver_cpu for r in runs]),
@@ -110,6 +108,48 @@ def run_repeated(
         mode_switches=mean_ci([float(r.mode_switches) for r in runs]),
         runs=runs,
     )
+
+
+def run_grid(
+    configs: Sequence[BlastConfig],
+    profile: HardwareProfile = FDR_INFINIBAND,
+    quality: RunQuality = QUICK,
+    *,
+    processes: int = 1,
+    max_events: Optional[int] = 400_000_000,
+) -> List[AggregateResult]:
+    """Run every config once per seed — optionally in parallel — and
+    aggregate per config, preserving config order.
+
+    Expands ``configs × quality.seeds`` into independent simulation units
+    and executes them through :func:`repro.sweep.run_sweep`; each unit
+    reseeds both the testbed (wake-up latencies) and the message-size
+    generator, as independent runs of the real tool would.  Results are
+    identical for any ``processes`` value (simulations are deterministic
+    and self-contained).
+    """
+    units = []
+    unit_seeds: List[int] = []
+    for config in configs:
+        for seed in quality.seeds:
+            units.append((_reseeded(config, seed), profile, max_events))
+            unit_seeds.append(seed)
+    results = run_sweep(units, _blast_worker, processes, seeds=unit_seeds)
+    reps = len(quality.seeds)
+    return [_aggregate(results[i * reps:(i + 1) * reps]) for i in range(len(configs))]
+
+
+def run_repeated(
+    config: BlastConfig,
+    profile: HardwareProfile = FDR_INFINIBAND,
+    quality: RunQuality = QUICK,
+    *,
+    processes: int = 1,
+    max_events: Optional[int] = 400_000_000,
+) -> AggregateResult:
+    """Run *config* once per seed and aggregate the paper's metrics."""
+    return run_grid([config], profile, quality, processes=processes,
+                    max_events=max_events)[0]
 
 
 def replace_seed(gen, seed: int):

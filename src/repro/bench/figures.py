@@ -16,7 +16,7 @@ from ..apps.blast import BlastConfig
 from ..apps.workloads import KIB, MIB, ExponentialSizes, FixedSizes
 from ..core import ProtocolMode
 from ..exs import ExsSocketOptions
-from .experiment import AggregateResult, QUICK, RunQuality, run_repeated
+from .experiment import AggregateResult, QUICK, RunQuality, run_grid, run_repeated
 from .profiles import FDR_INFINIBAND, ROCE_10G_WAN, HardwareProfile
 from .report import format_series_table, format_table
 
@@ -96,47 +96,60 @@ def _outstanding_sweep(
     profile: HardwareProfile,
     xs: Sequence[int] = OUTSTANDING_SWEEP,
     options: Optional[ExsSocketOptions] = None,
+    processes: int = 1,
 ) -> FigureData:
+    # Build the whole (x, protocol) grid up front so a parallel sweep can
+    # spread every point across workers; the grid order (x-major, protocol
+    # order within each x) is part of the deterministic contract.
+    grid = [
+        BlastConfig(
+            total_messages=quality.messages,
+            sizes=ExponentialSizes(seed=40),
+            outstanding_sends=max(1, sends_of(n)),
+            outstanding_recvs=n,
+            mode=mode,
+            options=options,
+        )
+        for n in xs
+        for mode in PROTOCOLS
+    ]
+    aggs = run_grid(grid, profile, quality, processes=processes)
     series: Dict[str, List[AggregateResult]] = {m.value: [] for m in PROTOCOLS}
-    for n in xs:
-        for mode in PROTOCOLS:
-            cfg = BlastConfig(
-                total_messages=quality.messages,
-                sizes=ExponentialSizes(seed=40),
-                outstanding_sends=max(1, sends_of(n)),
-                outstanding_recvs=n,
-                mode=mode,
-                options=options,
-            )
-            series[mode.value].append(run_repeated(cfg, profile, quality))
+    for i, agg in enumerate(aggs):
+        series[PROTOCOLS[i % len(PROTOCOLS)].value].append(agg)
     return FigureData(figure_id, "outstanding_recvs", list(xs), series, description)
 
 
-def fig9a(quality: RunQuality = QUICK, profile: HardwareProfile = FDR_INFINIBAND) -> FigureData:
+def fig9a(quality: RunQuality = QUICK, profile: HardwareProfile = FDR_INFINIBAND,
+          processes: int = 1) -> FigureData:
     """Fig. 9a: throughput vs outstanding ops, sender == receiver (FDR IB)."""
     return _outstanding_sweep(
         "fig9a", "throughput, equal outstanding ops, exp sizes (max 4 MiB)",
-        lambda n: n, quality, profile,
+        lambda n: n, quality, profile, processes=processes,
     )
 
 
-def fig9b(quality: RunQuality = QUICK, profile: HardwareProfile = FDR_INFINIBAND) -> FigureData:
+def fig9b(quality: RunQuality = QUICK, profile: HardwareProfile = FDR_INFINIBAND,
+          processes: int = 1) -> FigureData:
     """Fig. 9b: throughput vs outstanding ops, sender = receiver / 2."""
     return _outstanding_sweep(
         "fig9b", "throughput, sender outstanding = half of receiver",
         lambda n: n // 2, quality, profile, xs=[x for x in OUTSTANDING_SWEEP if x >= 2],
+        processes=processes,
     )
 
 
-def fig10a(quality: RunQuality = QUICK, profile: HardwareProfile = FDR_INFINIBAND) -> FigureData:
+def fig10a(quality: RunQuality = QUICK, profile: HardwareProfile = FDR_INFINIBAND,
+           processes: int = 1) -> FigureData:
     """Fig. 10a: receiver CPU% vs outstanding ops, equal (same runs as 9a)."""
-    fd = fig9a(quality, profile)
+    fd = fig9a(quality, profile, processes)
     return replace_id(fd, "fig10a", "receiver CPU usage, equal outstanding ops")
 
 
-def fig10b(quality: RunQuality = QUICK, profile: HardwareProfile = FDR_INFINIBAND) -> FigureData:
+def fig10b(quality: RunQuality = QUICK, profile: HardwareProfile = FDR_INFINIBAND,
+           processes: int = 1) -> FigureData:
     """Fig. 10b: receiver CPU% vs outstanding ops, sender = receiver / 2."""
-    fd = fig9b(quality, profile)
+    fd = fig9b(quality, profile, processes)
     return replace_id(fd, "fig10b", "receiver CPU usage, sender = receiver/2")
 
 
@@ -151,26 +164,29 @@ def fig11(
     quality: RunQuality = QUICK,
     profile: HardwareProfile = FDR_INFINIBAND,
     sends: Sequence[int] = (1, 2, 5, 10, 15, 20, 25, 32),
+    processes: int = 1,
 ) -> FigureData:
     """Figs. 11a/11b: dynamic protocol, receiver fixed at 32 outstanding.
 
     Series per message size; ``throughput`` and ``ratio`` metrics of the
     same runs correspond to the paper's 11a and 11b.
     """
+    grid = [
+        BlastConfig(
+            total_messages=quality.fixed_size_messages(size),
+            sizes=FixedSizes(size),
+            outstanding_sends=ns,
+            outstanding_recvs=32,
+            recv_buffer_bytes=max(size, 4096),
+            mode=ProtocolMode.DYNAMIC,
+        )
+        for size in FIG11_SIZES
+        for ns in sends
+    ]
+    aggs = run_grid(grid, profile, quality, processes=processes)
     series: Dict[str, List[AggregateResult]] = {}
-    for size in FIG11_SIZES:
-        label = _size_label(size)
-        series[label] = []
-        for ns in sends:
-            cfg = BlastConfig(
-                total_messages=quality.fixed_size_messages(size),
-                sizes=FixedSizes(size),
-                outstanding_sends=ns,
-                outstanding_recvs=32,
-                recv_buffer_bytes=max(size, 4096),
-                mode=ProtocolMode.DYNAMIC,
-            )
-            series[label].append(run_repeated(cfg, profile, quality))
+    for i, size in enumerate(FIG11_SIZES):
+        series[_size_label(size)] = aggs[i * len(sends):(i + 1) * len(sends)]
     return FigureData(
         "fig11", "outstanding_sends", list(sends), series,
         "dynamic protocol, receiver outstanding fixed at 32",
@@ -184,11 +200,11 @@ def fig12(
     quality: RunQuality = QUICK,
     profile: HardwareProfile = FDR_INFINIBAND,
     sizes: Sequence[int] = FIG12_SIZES,
+    processes: int = 1,
 ) -> FigureData:
     """Figs. 12a/12b: effect of message size on the dynamic protocol."""
-    aggs: List[AggregateResult] = []
-    for size in sizes:
-        cfg = BlastConfig(
+    grid = [
+        BlastConfig(
             total_messages=quality.fixed_size_messages(size, lo=12),
             sizes=FixedSizes(size),
             outstanding_sends=2,
@@ -196,7 +212,9 @@ def fig12(
             recv_buffer_bytes=max(size, 4096),
             mode=ProtocolMode.DYNAMIC,
         )
-        aggs.append(run_repeated(cfg, profile, quality))
+        for size in sizes
+    ]
+    aggs = run_grid(grid, profile, quality, processes=processes)
     return FigureData(
         "fig12", "message_size", [_size_label(s) for s in sizes],
         {"dynamic": aggs},
@@ -207,11 +225,12 @@ def fig12(
 # ---------------------------------------------------------------------------
 # Figure 13: over-distance sweep (RoCE 10G + 48 ms RTT)
 # ---------------------------------------------------------------------------
-def fig13(quality: RunQuality = QUICK, profile: HardwareProfile = ROCE_10G_WAN) -> FigureData:
+def fig13(quality: RunQuality = QUICK, profile: HardwareProfile = ROCE_10G_WAN,
+          processes: int = 1) -> FigureData:
     """Fig. 13: throughput vs outstanding ops at 48 ms RTT, equal sender/receiver."""
     return _outstanding_sweep(
         "fig13", "throughput over 48 ms RTT (RoCE 10G + emulator), equal outstanding",
-        lambda n: n, quality, profile, options=WAN_OPTIONS,
+        lambda n: n, quality, profile, options=WAN_OPTIONS, processes=processes,
     )
 
 
@@ -224,22 +243,26 @@ TABLE3_CONFIGS = (
 )
 
 
-def table3(quality: RunQuality = QUICK, profile: HardwareProfile = FDR_INFINIBAND):
+def table3(quality: RunQuality = QUICK, profile: HardwareProfile = FDR_INFINIBAND,
+           processes: int = 1):
     """Table III: average mode switches and direct-transfer ratio per config.
 
     Returns ``(rows, text)`` where each row is
     ``(recvs, sends, switches_ci, ratio_ci)``.
     """
-    rows = []
-    for nr, ns in TABLE3_CONFIGS:
-        cfg = BlastConfig(
+    grid = [
+        BlastConfig(
             total_messages=quality.messages,
             sizes=ExponentialSizes(seed=40),
             outstanding_sends=ns,
             outstanding_recvs=nr,
             mode=ProtocolMode.DYNAMIC,
         )
-        agg = run_repeated(cfg, profile, quality)
+        for nr, ns in TABLE3_CONFIGS
+    ]
+    aggs = run_grid(grid, profile, quality, processes=processes)
+    rows = []
+    for (nr, ns), agg in zip(TABLE3_CONFIGS, aggs):
         rows.append((nr, ns, agg.mode_switches, agg.direct_ratio, agg))
     text = format_table(
         ["recvs", "sends", "mode switches", "direct:total ratio"],

@@ -121,7 +121,8 @@ class StreamReceiverHalf:
         conn = self.conn
         # The memcpy occupies the library thread — this cost is the origin
         # of the indirect protocol's high receiver CPU usage (paper Fig. 10).
-        conn.trace("copy", nbytes=plan.nbytes)
+        if conn.tracer is not None:
+            conn.trace("copy", nbytes=plan.nbytes)
         yield from conn.host.cpu.work(conn.host.copy_ns(plan.nbytes))
         urecv: UserRecv = plan.entry.context
         dest = plan.dest_offset

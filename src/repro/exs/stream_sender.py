@@ -147,7 +147,8 @@ class StreamSenderHalf:
         if self.first_post_ns is None:
             self.first_post_ns = conn.sim.now
         if isinstance(plan, DirectPlan):
-            conn.trace("direct", nbytes=plan.nbytes, seq=plan.seq, phase=plan.phase)
+            if conn.tracer is not None:
+                conn.trace("direct", nbytes=plan.nbytes, seq=plan.seq, phase=plan.phase)
             chunk = self._slice(usend, plan.seq, plan.nbytes)
             yield from self._post_data(
                 usend,
@@ -159,7 +160,8 @@ class StreamSenderHalf:
             )
             usend.planned += plan.nbytes
         elif isinstance(plan, IndirectPlan):
-            conn.trace("indirect", nbytes=plan.nbytes, seq=plan.seq, phase=plan.phase)
+            if conn.tracer is not None:
+                conn.trace("indirect", nbytes=plan.nbytes, seq=plan.seq, phase=plan.phase)
             seq = plan.seq
             local = usend.planned
             for seg in plan.segments:

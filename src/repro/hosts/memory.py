@@ -18,7 +18,6 @@ Virtual addresses are fake but unique per :class:`MemoryArena`, so RDMA-style
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, Optional
 
 __all__ = ["Buffer", "Chunk", "MemoryArena", "MemoryError_"]
@@ -28,7 +27,6 @@ class MemoryError_(RuntimeError):
     """Out-of-bounds access or misuse of a simulated buffer."""
 
 
-@dataclass(frozen=True)
 class Chunk:
     """A contiguous piece of a byte stream travelling on the wire.
 
@@ -37,18 +35,25 @@ class Chunk:
     ``None`` in synthetic mode.  ``obj`` optionally carries a structured
     model payload (EXS control messages) that a real system would serialise
     into the bytes; the wire is still charged ``nbytes``.
+
+    Chunks are created once per wire message, so this is a slotted plain
+    class rather than a frozen dataclass (whose ``object.__setattr__``-based
+    init dominated the synthetic-mode transfer path).  Treat instances as
+    immutable all the same.
     """
 
-    stream_offset: int
-    nbytes: int
-    data: Optional[bytes] = None
-    obj: Any = None
+    __slots__ = ("stream_offset", "nbytes", "data", "obj")
 
-    def __post_init__(self) -> None:
-        if self.nbytes < 0:
+    def __init__(self, stream_offset: int, nbytes: int,
+                 data: Optional[bytes] = None, obj: Any = None) -> None:
+        if nbytes < 0:
             raise MemoryError_("negative chunk length")
-        if self.data is not None and len(self.data) != self.nbytes:
+        if data is not None and len(data) != nbytes:
             raise MemoryError_("chunk data length mismatch")
+        self.stream_offset = stream_offset
+        self.nbytes = nbytes
+        self.data = data
+        self.obj = obj
 
     @property
     def end_offset(self) -> int:
@@ -58,13 +63,38 @@ class Chunk:
         """Split into a head of *nbytes* and the remaining tail."""
         if not (0 <= nbytes <= self.nbytes):
             raise MemoryError_(f"bad split {nbytes} of {self.nbytes}")
-        head_data = tail_data = None
-        if self.data is not None:
-            head_data = self.data[:nbytes]
-            tail_data = self.data[nbytes:]
-        head = Chunk(self.stream_offset, nbytes, head_data)
-        tail = Chunk(self.stream_offset + nbytes, self.nbytes - nbytes, tail_data)
+        data = self.data
+        if data is None:
+            # Synthetic mode: no byte slicing, just offset arithmetic.
+            head = Chunk.__new__(Chunk)
+            head.stream_offset = self.stream_offset
+            head.nbytes = nbytes
+            head.data = None
+            head.obj = None
+            tail = Chunk.__new__(Chunk)
+            tail.stream_offset = self.stream_offset + nbytes
+            tail.nbytes = self.nbytes - nbytes
+            tail.data = None
+            tail.obj = None
+            return head, tail
+        head = Chunk(self.stream_offset, nbytes, data[:nbytes])
+        tail = Chunk(self.stream_offset + nbytes, self.nbytes - nbytes, data[nbytes:])
         return head, tail
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, Chunk):
+            return NotImplemented
+        return (self.stream_offset == other.stream_offset
+                and self.nbytes == other.nbytes
+                and self.data == other.data
+                and self.obj == other.obj)
+
+    def __hash__(self) -> int:
+        return hash((self.stream_offset, self.nbytes, self.data, self.obj))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "synthetic" if self.data is None else "real"
+        return f"Chunk(stream_offset={self.stream_offset}, nbytes={self.nbytes}, {kind})"
 
 
 class Buffer:

@@ -31,7 +31,13 @@ class Event:
     Lifecycle: *untriggered* → (``succeed``/``fail``) → scheduled on the
     calendar → *processed* (callbacks run).  An event may only be triggered
     once.
+
+    Events (and their subclasses) use ``__slots__``: they are the most
+    numerous objects in a simulation and dropping the per-instance dict
+    measurably cuts both allocation time and memory traffic.
     """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled")
 
     def __init__(self, sim: Simulator) -> None:
         self.sim = sim
@@ -91,11 +97,7 @@ class Event:
         if self.callbacks is None:
             # Already processed: schedule an immediate call so that ordering
             # stays calendar-driven.
-            relay = Event(self.sim)
-            relay.callbacks.append(lambda _e: fn(self))
-            relay._value = None
-            relay._ok = True
-            self.sim.schedule(relay, 0)
+            self.sim.call_in(0, fn, self)
         else:
             self.callbacks.append(fn)
 
@@ -107,7 +109,14 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires ``delay`` nanoseconds after creation."""
+    """An event that fires ``delay`` nanoseconds after creation.
+
+    Instances created via :meth:`Simulator.timeout` may come from (and
+    silently return to) a per-simulator freelist; the reuse is undetectable
+    because recycling requires proof that no other reference exists.
+    """
+
+    __slots__ = ("delay",)
 
     def __init__(self, sim: Simulator, delay: int, value: Any = None) -> None:
         super().__init__(sim)
@@ -127,9 +136,17 @@ class _Condition(Event):
     has not *occurred* until the calendar reaches it.
     """
 
+    __slots__ = ("events", "_index")
+
     def __init__(self, sim: Simulator, events: Sequence[Event]) -> None:
         super().__init__(sim)
         self.events = list(events)
+        # Identity-keyed child → position map (first occurrence wins when
+        # the same event object appears twice), so _check never pays an
+        # O(n) list scan per child notification.
+        self._index = {}
+        for i, ev in enumerate(self.events):
+            self._index.setdefault(id(ev), i)
         for ev in self.events:
             if ev.sim is not sim:
                 raise SimulationError("condition mixes events from different simulators")
@@ -157,6 +174,8 @@ class AllOf(_Condition):
     The value is a list of child values in the original order.
     """
 
+    __slots__ = ()
+
     def _check(self, initial: bool, child: Optional[Event] = None) -> None:
         if self.triggered:
             return
@@ -170,6 +189,8 @@ class AllOf(_Condition):
 class AnyOf(_Condition):
     """Triggers when *any* child event occurs; value is ``(index, value)``."""
 
+    __slots__ = ()
+
     def _validate(self) -> None:
         if not self.events:
             raise SimulationError("AnyOf of zero events would never trigger")
@@ -180,7 +201,7 @@ class AnyOf(_Condition):
         if child.ok is False:
             self.fail(child._value)
         else:
-            self.succeed((self.events.index(child), child._value))
+            self.succeed((self._index[id(child)], child._value))
 
 
 class Signal:
@@ -193,6 +214,8 @@ class Signal:
     this models the "kick the engine, it will notice work" pattern used by
     the EXS progress engines and avoids lost wake-ups.
     """
+
+    __slots__ = ("sim", "_waiters", "_latched", "_latching", "fired_count")
 
     def __init__(self, sim: Simulator, *, latching: bool = True) -> None:
         self.sim = sim

@@ -16,18 +16,33 @@ number, so two events scheduled for the same instant fire in the order they
 were scheduled.  This determinism is essential: the protocol under study is
 sensitive to message/completion races and we want those races to be
 *simulated*, not to depend on Python hash ordering.
+
+Performance notes (this kernel is the host-side bottleneck of every
+experiment):
+
+* Calendar entries need only a ``_run()`` method.  :meth:`Simulator.call_in`
+  places a slotted :class:`CallbackEntry` that invokes ``fn(arg)`` directly,
+  bypassing the full Event protocol — used by the hot delivery paths (link
+  arrivals, transport ACKs) which never have external waiters.
+* :meth:`Simulator.timeout` recycles :class:`~repro.simnet.events.Timeout`
+  objects through a freelist.  A timeout is returned to the pool only when
+  the kernel can prove (via the CPython reference count) that nothing else
+  holds it, so the reuse is invisible to user code that keeps a reference.
+* The :attr:`Simulator.tracing` flag lets hot call sites skip building
+  trace strings entirely when no trace hook is installed.
 """
 
 from __future__ import annotations
 
 import heapq
+from sys import getrefcount
 from typing import TYPE_CHECKING, Any, Callable, Iterator, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .events import Event
     from .process import Process
 
-__all__ = ["Simulator", "SimulationError", "StopSimulation"]
+__all__ = ["Simulator", "SimulationError", "StopSimulation", "CallbackEntry"]
 
 
 class SimulationError(RuntimeError):
@@ -38,6 +53,30 @@ class StopSimulation(Exception):
     """Internal signal used by :meth:`Simulator.run` to stop at a target event."""
 
 
+class CallbackEntry:
+    """A minimal calendar entry: runs ``fn(arg)`` when its time comes.
+
+    Unlike an :class:`~repro.simnet.events.Event` it has no value, no
+    callbacks list and cannot be waited on — it exists so that one-shot
+    deliveries (a message arriving at a link handler, an ACK reaching its
+    device) cost one small allocation instead of an Event, a bound-method
+    list and a closure.
+    """
+
+    __slots__ = ("fn", "arg")
+
+    def __init__(self, fn: Callable[[Any], None], arg: Any) -> None:
+        self.fn = fn
+        self.arg = arg
+
+    def _run(self) -> None:
+        self.fn(self.arg)
+
+
+#: maximum number of recycled Timeout objects kept per simulator
+_TIMEOUT_POOL_MAX = 512
+
+
 class Simulator:
     """Event calendar plus the simulated clock.
 
@@ -46,16 +85,27 @@ class Simulator:
     trace:
         Optional callable ``trace(time_ns, category, message)`` invoked for
         every traced kernel action.  ``None`` disables tracing (the default;
-        tracing is for debugging, not for measurement).
+        tracing is for debugging, not for measurement).  Call sites on hot
+        paths should consult :attr:`tracing` before formatting messages.
     """
 
     def __init__(self, trace: Optional[Callable[[int, str, str], None]] = None) -> None:
         self._now: int = 0
-        self._queue: list[tuple[int, int, "Event"]] = []
+        self._queue: list[tuple[int, int, Any]] = []
         self._seq: int = 0
         self._trace = trace
+        #: True when a trace hook is installed; guards f-string construction
+        #: at call sites (the guarded-trace discipline).
+        self.tracing: bool = trace is not None
         #: number of events executed so far (useful for runaway detection)
         self.events_executed: int = 0
+        # Timeout freelist (see module docstring).  The class is resolved
+        # here, at construction time, to avoid a circular import at module
+        # load (events.py imports this module).
+        from .events import Timeout
+
+        self._timeout_cls = Timeout
+        self._timeout_pool: list = []
 
     # ------------------------------------------------------------------
     # clock
@@ -71,16 +121,35 @@ class Simulator:
     def schedule(self, event: "Event", delay: int = 0) -> None:
         """Place *event* on the calendar ``delay`` nanoseconds from now.
 
-        ``delay`` must be a non-negative integer.  The event fires after all
-        events already scheduled for the same instant.
+        ``delay`` must be a non-negative integer (``bool`` is rejected —
+        ``schedule(ev, True)`` is always a bug, not a 1 ns delay).  The
+        event fires after all events already scheduled for the same instant.
         """
+        if type(delay) is not int:
+            # Type errors are reported before range errors so that a float
+            # delay gets the "must be an int" message, not the negative one.
+            if isinstance(delay, bool) or not isinstance(delay, int):
+                raise SimulationError(
+                    f"delay must be an int number of ns, got {type(delay).__name__}"
+                )
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        if not isinstance(delay, int):
-            raise SimulationError(f"delay must be an int number of ns, got {type(delay).__name__}")
         self._seq += 1
         heapq.heappush(self._queue, (self._now + delay, self._seq, event))
         event._scheduled = True
+
+    def call_in(self, delay: int, fn: Callable[[Any], None], arg: Any = None) -> None:
+        """Schedule ``fn(arg)`` to run ``delay`` ns from now.
+
+        The fast path for fire-and-forget deliveries: no Event object is
+        created and the callable runs straight off the calendar.  Ordering
+        relative to events scheduled for the same instant follows the usual
+        sequence-number tie-break.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, self._seq, CallbackEntry(fn, arg)))
 
     # ------------------------------------------------------------------
     # execution
@@ -93,6 +162,14 @@ class Simulator:
         self._now = when
         self.events_executed += 1
         event._run()
+        # Recycle plain Timeouts nothing else references: refcount 2 means
+        # only the local variable and getrefcount's argument hold it, so
+        # reuse can never be observed by user code.  (CPython-specific; on
+        # other runtimes the count is conservative and pooling just idles.)
+        if type(event) is self._timeout_cls and getrefcount(event) == 2:
+            pool = self._timeout_pool
+            if len(pool) < _TIMEOUT_POOL_MAX:
+                pool.append(event)
 
     def peek(self) -> Optional[int]:
         """Return the firing time of the next event, or ``None`` if idle."""
@@ -160,10 +237,24 @@ class Simulator:
     # conveniences
     # ------------------------------------------------------------------
     def timeout(self, delay: int, value: Any = None) -> "Event":
-        """Return an event that fires ``delay`` ns from now with ``value``."""
-        from .events import Timeout
+        """Return an event that fires ``delay`` ns from now with ``value``.
 
-        return Timeout(self, delay, value)
+        Timeouts are the dominant allocation of process-driven loops, so
+        this goes through the freelist when possible (see module docstring).
+        """
+        pool = self._timeout_pool
+        if pool:
+            t = pool.pop()
+            if delay < 0:
+                pool.append(t)
+                raise SimulationError(f"negative timeout: {delay}")
+            t.delay = delay
+            t.callbacks = []
+            t._value = value
+            t._ok = True
+            self.schedule(t, delay)
+            return t
+        return self._timeout_cls(self, delay, value)
 
     def event(self) -> "Event":
         """Return a fresh untriggered event."""

@@ -15,7 +15,7 @@ ordering still holds, exactly as a reliability layer would enforce.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from .emulator import DelayEmulator
@@ -28,7 +28,7 @@ Handler = Callable[[Any], None]
 
 @dataclass
 class LinkStats:
-    """Per-direction transmission counters."""
+    """Per-direction transmission counters (a point-in-time snapshot)."""
 
     messages: int = 0
     wire_bytes: int = 0
@@ -36,7 +36,15 @@ class LinkStats:
 
 
 class LinkDirection:
-    """One direction of a full-duplex link (serialized transmitter)."""
+    """One direction of a full-duplex link (serialized transmitter).
+
+    Counters are kept as plain integer attributes and materialised into a
+    :class:`LinkStats` on demand, so the per-message path touches no
+    dataclass instance.
+    """
+
+    __slots__ = ("link", "index", "handler", "_busy_until", "_last_arrival",
+                 "_messages", "_wire_bytes", "_busy_ns")
 
     def __init__(self, link: "Link", index: int) -> None:
         self.link = link
@@ -44,7 +52,14 @@ class LinkDirection:
         self.handler: Optional[Handler] = None
         self._busy_until = 0
         self._last_arrival = 0
-        self.stats = LinkStats()
+        self._messages = 0
+        self._wire_bytes = 0
+        self._busy_ns = 0
+
+    @property
+    def stats(self) -> LinkStats:
+        """Snapshot of the transmission counters."""
+        return LinkStats(self._messages, self._wire_bytes, self._busy_ns)
 
     def transmit(self, payload: Any, wire_bytes: int, extra_tx_ns: int = 0) -> int:
         """Queue *payload* for transmission; returns the arrival time (ns).
@@ -58,28 +73,34 @@ class LinkDirection:
         sim = link.sim
         if wire_bytes < 0 or extra_tx_ns < 0:
             raise SimulationError("wire_bytes and extra_tx_ns must be >= 0")
-        if self.handler is None:
+        handler = self.handler
+        if handler is None:
             raise SimulationError("link direction has no attached handler")
         tx_ns = link.transmission_ns(wire_bytes) + extra_tx_ns
-        start = max(sim.now, self._busy_until)
+        now = sim._now
+        start = self._busy_until
+        if now > start:
+            start = now
         end_tx = start + tx_ns
         self._busy_until = end_tx
-        prop = link.propagation_ns()
+        emulator = link.emulator
+        prop = link.propagation_delay_ns
+        if emulator is not None:
+            prop += emulator.sample_ns()
         arrival = end_tx + prop
         # Reliable transport: never deliver out of order even under jitter.
         if arrival < self._last_arrival:
             arrival = self._last_arrival
         self._last_arrival = arrival
 
-        self.stats.messages += 1
-        self.stats.wire_bytes += wire_bytes
-        self.stats.busy_ns += tx_ns
+        self._messages += 1
+        self._wire_bytes += wire_bytes
+        self._busy_ns += tx_ns
 
-        handler = self.handler
-        ev = sim.event()
-        ev.add_callback(lambda _e: handler(payload))
-        ev.succeed(delay=arrival - sim.now)
-        sim.trace("link", f"dir{self.index} tx {wire_bytes}B arrive@{arrival}")
+        # Deliver via a lightweight calendar entry (no Event, no closure).
+        sim.call_in(arrival - now, handler, payload)
+        if sim.tracing:
+            sim.trace("link", f"dir{self.index} tx {wire_bytes}B arrive@{arrival}")
         return arrival
 
     @property
@@ -125,6 +146,13 @@ class Link:
         self.propagation_delay_ns = int(propagation_delay_ns)
         self.per_message_overhead_ns = int(per_message_overhead_ns)
         self.emulator = emulator
+        #: precomputed byte-rate factor: ns of wire time per payload byte
+        self.ns_per_byte = 8 * 1e9 / self.bandwidth_bps
+        # Serialization delays are memoized per wire_bytes value.  The cache
+        # (not `wire_bytes * ns_per_byte`) is what the hot path uses because
+        # reassociating the arithmetic would double-round and could shift a
+        # delay by 1 ns — simulated results must stay bit-identical.
+        self._tx_ns_cache: dict[int, int] = {}
         self.directions = (LinkDirection(self, 0), LinkDirection(self, 1))
 
     # ------------------------------------------------------------------
@@ -142,7 +170,11 @@ class Link:
 
     def transmission_ns(self, wire_bytes: int) -> int:
         """Serialization delay for a message of *wire_bytes* bytes."""
-        return self.per_message_overhead_ns + int(round(wire_bytes * 8 * 1e9 / self.bandwidth_bps))
+        ns = self._tx_ns_cache.get(wire_bytes)
+        if ns is None:
+            ns = self.per_message_overhead_ns + int(round(wire_bytes * 8 * 1e9 / self.bandwidth_bps))
+            self._tx_ns_cache[wire_bytes] = ns
+        return ns
 
     def propagation_ns(self) -> int:
         """Propagation delay for one message (base + emulator, if any)."""

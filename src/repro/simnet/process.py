@@ -32,6 +32,8 @@ class Interrupt(Exception):
 class Process(Event):
     """A running simulation process (also an event: its own completion)."""
 
+    __slots__ = ("generator", "name", "_target")
+
     def __init__(self, sim: Simulator, generator: Iterator[Any], name: str = "") -> None:
         super().__init__(sim)
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):

@@ -1,0 +1,219 @@
+"""Deterministic parallel sweep runner.
+
+Every experiment in this reproduction is an embarrassingly parallel sweep:
+many independent simulations (one per parameter point per seed) whose
+results are aggregated afterwards.  Simulations are deterministic and
+self-contained, so spreading them across worker processes changes only the
+wall-clock time — never the simulated results.  This module provides the
+one sanctioned way to do that:
+
+* :func:`run_sweep` — run ``worker(config, seed)`` for every config, across
+  a process pool, with **ordered result collection** (results come back in
+  config order regardless of completion order) and **failure propagation**
+  (the first worker exception aborts the sweep and re-raises in the parent,
+  carrying the failing config's index and traceback).
+* :func:`processes_from_env` — honour ``REPRO_SWEEP_PROCESSES`` so the
+  benchmark suite and figure runners can be parallelized without code
+  changes.
+* ``python -m repro.sweep`` — regenerate paper artifacts (same names as
+  ``python -m repro.bench``) with the per-run grid fanned out over cores.
+
+Determinism contract: for the same ``configs``/``seeds``, the returned list
+is identical whether ``processes`` is 1 or N (the regression test in
+``tests/test_sweep.py`` enforces this).  Workers must therefore be pure
+functions of ``(config, seed)`` — in particular they must not read mutable
+process-global state, which all of :mod:`repro.apps.blast` already
+satisfies.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+import traceback
+from typing import Any, Callable, List, Optional, Sequence
+
+__all__ = ["SweepError", "run_sweep", "processes_from_env", "default_seeds"]
+
+
+class SweepError(RuntimeError):
+    """A worker failed; carries the failing config's position and traceback."""
+
+    def __init__(self, index: int, config: Any, seed: int, cause_repr: str, cause_tb: str) -> None:
+        super().__init__(
+            f"sweep worker failed on config #{index} (seed={seed}): {cause_repr}\n"
+            f"--- worker traceback ---\n{cause_tb}"
+        )
+        self.index = index
+        self.config = config
+        self.seed = seed
+
+
+def default_seeds(count: int) -> List[int]:
+    """The default per-config seed assignment: 1, 2, 3, ... (deterministic)."""
+    return list(range(1, count + 1))
+
+
+def processes_from_env(default: int = 1) -> int:
+    """Worker count selected by ``REPRO_SWEEP_PROCESSES``.
+
+    ``0`` or ``auto`` means one worker per CPU; unset/invalid means
+    *default* (serial unless the caller opts in).
+    """
+    raw = os.environ.get("REPRO_SWEEP_PROCESSES", "").strip().lower()
+    if not raw:
+        return default
+    if raw == "auto":
+        return os.cpu_count() or 1
+    try:
+        n = int(raw)
+    except ValueError:
+        return default
+    return (os.cpu_count() or 1) if n <= 0 else n
+
+
+def _invoke(payload):
+    """Pool entry point: run one unit, trapping the exception for transport.
+
+    Returns ``(index, True, result)`` or ``(index, False, (repr, tb))`` so
+    the parent can both re-order results and propagate failures with the
+    worker's traceback (raw exceptions don't always pickle).
+    """
+    index, worker, config, seed = payload
+    try:
+        return index, True, worker(config, seed)
+    except BaseException as exc:  # noqa: BLE001 - transported to the parent
+        return index, False, (repr(exc), traceback.format_exc())
+
+
+def run_sweep(
+    configs: Sequence[Any],
+    worker: Callable[[Any, int], Any],
+    processes: Optional[int] = None,
+    *,
+    seeds: Optional[Sequence[int]] = None,
+    chunksize: int = 1,
+) -> List[Any]:
+    """Run ``worker(config, seed)`` for every config; return results in order.
+
+    Parameters
+    ----------
+    configs:
+        The sweep grid.  Each entry (and the worker) must be picklable when
+        ``processes > 1``.
+    worker:
+        A module-level callable ``worker(config, seed) -> result``.
+    processes:
+        Worker process count.  ``1`` (or a single-entry grid) runs serially
+        in-process — no pool, no pickling; ``None``/``0`` means one worker
+        per CPU.
+    seeds:
+        Per-config seeds, parallel to *configs*.  Defaults to
+        :func:`default_seeds` (1-based positions).
+    chunksize:
+        Work units handed to a worker at a time; raise above 1 only for
+        very large grids of very short runs.
+    """
+    configs = list(configs)
+    if seeds is None:
+        seeds = default_seeds(len(configs))
+    else:
+        seeds = list(seeds)
+        if len(seeds) != len(configs):
+            raise ValueError(f"{len(configs)} configs but {len(seeds)} seeds")
+    if processes is None or processes <= 0:
+        processes = os.cpu_count() or 1
+
+    if processes == 1 or len(configs) <= 1:
+        # Serial fast path: same code path shape, no multiprocessing at all.
+        results: List[Any] = []
+        for i, (config, seed) in enumerate(zip(configs, seeds)):
+            try:
+                results.append(worker(config, seed))
+            except BaseException as exc:
+                raise SweepError(i, config, seed, repr(exc), traceback.format_exc()) from exc
+        return results
+
+    payloads = [(i, worker, config, seed)
+                for i, (config, seed) in enumerate(zip(configs, seeds))]
+    # fork (where available) inherits sys.path / imported modules, which
+    # keeps "PYTHONPATH=src pytest" invocations working; elsewhere spawn
+    # re-imports the worker's module by qualified name.
+    method = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+    ctx = multiprocessing.get_context(method)
+    out: List[Any] = [None] * len(payloads)
+    with ctx.Pool(processes=min(processes, len(payloads))) as pool:
+        # imap_unordered: results are re-slotted by index, so collection
+        # order never depends on scheduling; failures abort immediately.
+        for index, ok, value in pool.imap_unordered(_invoke, payloads, chunksize=chunksize):
+            if not ok:
+                cause_repr, cause_tb = value
+                pool.terminate()
+                raise SweepError(index, configs[index], seeds[index], cause_repr, cause_tb)
+            out[index] = value
+    return out
+
+
+# ---------------------------------------------------------------------------
+# CLI: parallel figure regeneration
+# ---------------------------------------------------------------------------
+def main(argv=None) -> int:
+    """``python -m repro.sweep`` — paper artifacts, grid fanned out over cores."""
+    import argparse
+    import time
+
+    from .bench.experiment import PAPER, QUICK, SMOKE
+    from .bench import figures
+
+    qualities = {"smoke": SMOKE, "quick": QUICK, "paper": PAPER}
+    runners = {
+        "fig9a": lambda q, p: figures.fig9a(q, processes=p).text("throughput"),
+        "fig9b": lambda q, p: figures.fig9b(q, processes=p).text("throughput"),
+        "fig10a": lambda q, p: figures.fig10a(q, processes=p).text("cpu"),
+        "fig10b": lambda q, p: figures.fig10b(q, processes=p).text("cpu"),
+        "fig11a": lambda q, p: figures.fig11(q, processes=p).text("throughput"),
+        "fig11b": lambda q, p: figures.fig11(q, processes=p).text("ratio"),
+        "fig12a": lambda q, p: figures.fig12(q, processes=p).text("throughput"),
+        "fig12b": lambda q, p: figures.fig12(q, processes=p).text("ratio"),
+        "fig13": lambda q, p: figures.fig13(q, processes=p).text("throughput_mbps"),
+        "table3": lambda q, p: figures.table3(q, processes=p)[1],
+    }
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sweep",
+        description="Regenerate paper artifacts with the simulation grid "
+                    "spread across worker processes (results are identical "
+                    "to the serial python -m repro.bench).",
+    )
+    parser.add_argument("artifacts", nargs="*", metavar="ARTIFACT",
+                        help=f"which to run (default: all): {', '.join(runners)}")
+    parser.add_argument("--quality", choices=sorted(qualities), default="quick",
+                        help="run length / repetition count (default: quick)")
+    parser.add_argument("--processes", "-j", type=int, default=0,
+                        help="worker processes (default: one per CPU; 1 = serial)")
+    parser.add_argument("--list", action="store_true", help="list artifacts and exit")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in runners:
+            print(name)
+        return 0
+
+    selected = args.artifacts or list(runners)
+    unknown = [a for a in selected if a not in runners]
+    if unknown:
+        parser.error(f"unknown artifact(s): {', '.join(unknown)}")
+
+    quality = qualities[args.quality]
+    processes = args.processes if args.processes > 0 else (os.cpu_count() or 1)
+    for name in selected:
+        t0 = time.time()
+        print(runners[name](quality, processes))
+        print(f"[{name} done in {time.time() - t0:.1f}s at quality={quality.name} "
+              f"with {processes} processes]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -110,7 +110,7 @@ class ConnectionManager:
         self.sim: Simulator = device.sim
         self._listeners: Dict[int, CmListener] = {}
         #: active-side connects awaiting REP, keyed by our qpn
-        self._pending_rep: Dict[int, Event] = {}
+        self._pending_rep: Dict[int, tuple] = {}  # qpn -> (done event, QueuePair)
         #: passive-side accepts awaiting RTU, keyed by our qpn
         self._pending_rtu: Dict[int, ConnectionRequest] = {}
         device.cm_handler = self._on_cm
@@ -131,7 +131,8 @@ class ConnectionManager:
         from the REP, after which the QP is connected and RTU has been sent.
         """
         done = Event(self.sim)
-        self._pending_rep[qp.qpn] = done
+        # remember qp alongside the event so the REP handler can bind it
+        self._pending_rep[qp.qpn] = (done, qp)
         self.device.send_cm(
             CmMessage(
                 kind="req",
@@ -140,8 +141,6 @@ class ConnectionManager:
                 private_data=dict(private_data or {}),
             )
         )
-        # remember qp so the REP handler can bind it
-        done._qp = qp  # type: ignore[attr-defined]
         return done
 
     # -- dispatch ---------------------------------------------------------
@@ -158,10 +157,10 @@ class ConnectionManager:
                 ConnectionRequest(self, msg.port, msg.src_qpn, msg.private_data)
             )
         elif msg.kind == "rep":
-            done = self._pending_rep.pop(msg.dst_qpn, None)
-            if done is None:
+            pending = self._pending_rep.pop(msg.dst_qpn, None)
+            if pending is None:
                 raise VerbsError("REP with no pending connect")
-            qp: QueuePair = done._qp  # type: ignore[attr-defined]
+            done, qp = pending
             qp.connect(msg.src_qpn)
             self.device.send_cm(
                 CmMessage(kind="rtu", port=msg.port, src_qpn=qp.qpn, dst_qpn=msg.src_qpn)
@@ -172,8 +171,8 @@ class ConnectionManager:
             if req is not None and not req.established.triggered:
                 req.established.succeed()
         elif msg.kind == "rej":
-            done = self._pending_rep.pop(msg.dst_qpn, None)
-            if done is not None:
-                done.fail(ConnectionRejected(msg.private_data.get("reason", "rejected")))
+            pending = self._pending_rep.pop(msg.dst_qpn, None)
+            if pending is not None:
+                pending[0].fail(ConnectionRejected(msg.private_data.get("reason", "rejected")))
         else:  # pragma: no cover - defensive
             raise VerbsError(f"unknown CM message kind {msg.kind!r}")

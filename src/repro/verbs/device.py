@@ -346,10 +346,7 @@ class RdmaDevice:
         msn = self._consumed_msn[qp.qpn]
         ack = AckMessage(dst_qpn=qp.remote_qpn, msn=msn)
         delay = self.config.ack_turnaround_ns + self.link.propagation_ns()
-        peer = self.peer
-        ev = self.sim.event()
-        ev.add_callback(lambda _e: peer._on_ack(ack))
-        ev.succeed(delay=delay)
+        self.sim.call_in(delay, self.peer._on_ack, ack)
         self.acks_sent += 1
 
     def _on_ack(self, ack: AckMessage) -> None:

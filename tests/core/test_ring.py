@@ -104,6 +104,53 @@ def test_receiver_consume_more_than_stored_rejected():
         r.consume(11)
 
 
+# -- wraparound edge cases ---------------------------------------------------
+def test_sender_reserve_exactly_to_boundary_single_segment():
+    """A reservation ending exactly at capacity must not emit an empty
+    second segment, and the write pointer must land back on zero."""
+    v = SenderRingView(100)
+    segs = v.reserve(100)
+    assert segs == [RingSegment(0, 100)]
+    v.on_copy_ack(100)
+    # next reservation starts at offset 0 again, not at offset 100
+    assert v.reserve(10) == [RingSegment(0, 10)]
+
+
+def test_sender_many_wraps_offsets_stay_in_range():
+    v = SenderRingView(64)
+    total = 0
+    for n in (40, 40, 40, 40, 40, 40, 40):
+        for seg in v.reserve(n):
+            assert 0 <= seg.offset < 64
+            assert seg.offset + seg.nbytes <= 64
+        total += n
+        v.on_copy_ack(total)
+    assert v.reserved_total == total
+    assert v.free == 64
+
+
+def test_receiver_read_pointer_wraps_to_zero():
+    r = ReceiverRing(100)
+    r.on_arrival(RingSegment(0, 100))
+    segs = r.consume(100)
+    assert segs == [RingSegment(0, 100)]
+    assert r.read_offset == 0  # wrapped exactly to zero, not 100
+    r.on_arrival(RingSegment(0, 30))
+    assert r.consume(30) == [RingSegment(0, 30)]
+
+
+def test_capacity_one_ring_cycles():
+    sender = SenderRingView(1)
+    receiver = ReceiverRing(1)
+    for _ in range(5):
+        (seg,) = sender.reserve(1)
+        assert seg == RingSegment(0, 1)
+        receiver.on_arrival(seg)
+        receiver.consume(1)
+        sender.on_copy_ack(receiver.copied_total)
+    assert receiver.copied_total == 5
+
+
 # -- paired property: sender view and receiver ring stay consistent ---------
 @settings(max_examples=200, deadline=None)
 @given(

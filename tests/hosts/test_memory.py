@@ -84,9 +84,50 @@ def test_chunk_split_synthetic():
     assert tail.stream_offset == 60
 
 
+def test_chunk_split_zero_length_head_real():
+    head, tail = Chunk(10, 4, b"abcd").split(0)
+    assert (head.stream_offset, head.nbytes, head.data) == (10, 0, b"")
+    assert (tail.stream_offset, tail.nbytes, tail.data) == (10, 4, b"abcd")
+
+
+def test_chunk_split_full_length_real():
+    head, tail = Chunk(10, 4, b"abcd").split(4)
+    assert (head.stream_offset, head.nbytes, head.data) == (10, 4, b"abcd")
+    assert (tail.stream_offset, tail.nbytes, tail.data) == (14, 0, b"")
+
+
+def test_chunk_split_zero_length_head_synthetic():
+    head, tail = Chunk(10, 4).split(0)
+    assert (head.stream_offset, head.nbytes, head.data) == (10, 0, None)
+    assert (tail.stream_offset, tail.nbytes, tail.data) == (10, 4, None)
+
+
+def test_chunk_split_synthetic_matches_real_offsets():
+    """Both modes must agree on the stream positions of head and tail."""
+    for at in (0, 1, 3, 7):
+        rh, rt = Chunk(100, 7, b"abcdefg").split(at)
+        sh, st = Chunk(100, 7).split(at)
+        assert (sh.stream_offset, sh.nbytes) == (rh.stream_offset, rh.nbytes)
+        assert (st.stream_offset, st.nbytes) == (rt.stream_offset, rt.nbytes)
+        assert rh.end_offset == rt.stream_offset
+        assert sh.end_offset == st.stream_offset
+
+
+def test_chunk_equality_and_hash():
+    assert Chunk(0, 4, b"abcd") == Chunk(0, 4, b"abcd")
+    assert Chunk(0, 4, b"abcd") != Chunk(0, 4, b"abce")
+    assert Chunk(0, 4) != Chunk(1, 4)
+    assert hash(Chunk(3, 2, b"xy")) == hash(Chunk(3, 2, b"xy"))
+    assert Chunk(0, 1) != object() and not (Chunk(0, 1) == object())
+
+
 def test_chunk_split_out_of_range():
     with pytest.raises(MemoryError_):
         Chunk(0, 4, b"abcd").split(5)
+    with pytest.raises(MemoryError_):
+        Chunk(0, 4, b"abcd").split(-1)
+    with pytest.raises(MemoryError_):
+        Chunk(0, 4).split(-1)
 
 
 def test_chunk_end_offset():
