@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test bench bench-smoke bench-paper figures examples all
+.PHONY: install test bench bench-smoke bench-paper figures examples obs-smoke all
 
 install:
 	pip install -e . || python setup.py develop
@@ -19,6 +19,12 @@ bench-smoke:
 
 bench-paper:
 	REPRO_BENCH_QUALITY=paper pytest benchmarks/ --benchmark-only
+
+# Telemetry gate: run a traced scenario through the full obs pipeline,
+# fail on export-schema drift or incomplete span coverage, and leave the
+# JSONL artifact behind for inspection / CI upload.
+obs-smoke:
+	python -m repro.obs smoke --out telemetry-smoke.jsonl
 
 figures:
 	python -m repro.bench

@@ -12,6 +12,7 @@ discrete-event simulation:
 * :mod:`repro.apps` — the blast tool, workloads, metrics
 * :mod:`repro.bench` — hardware profiles and per-figure experiment runners
 * :mod:`repro.analysis` — analytic throughput bounds
+* :mod:`repro.obs` — unified telemetry (metrics, sampler, spans, reports)
 
 Quick start::
 

@@ -117,6 +117,7 @@ def run_grid(
     *,
     processes: int = 1,
     max_events: Optional[int] = 400_000_000,
+    telemetry_dir: Optional[str] = None,
 ) -> List[AggregateResult]:
     """Run every config once per seed — optionally in parallel — and
     aggregate per config, preserving config order.
@@ -127,6 +128,13 @@ def run_grid(
     generator, as independent runs of the real tool would.  Results are
     identical for any ``processes`` value (simulations are deterministic
     and self-contained).
+
+    ``telemetry_dir`` makes every unit — in this process or a sweep
+    worker — write a per-run :mod:`repro.obs` JSONL artifact into that
+    directory (created if missing).  It is exported through the
+    ``REPRO_TELEMETRY_DIR`` environment variable so it reaches forked
+    workers without widening the worker protocol; the previous value is
+    restored afterwards.
     """
     units = []
     unit_seeds: List[int] = []
@@ -134,7 +142,18 @@ def run_grid(
         for seed in quality.seeds:
             units.append((_reseeded(config, seed), profile, max_events))
             unit_seeds.append(seed)
-    results = run_sweep(units, _blast_worker, processes, seeds=unit_seeds)
+    saved = os.environ.get("REPRO_TELEMETRY_DIR")
+    if telemetry_dir is not None:
+        os.makedirs(telemetry_dir, exist_ok=True)
+        os.environ["REPRO_TELEMETRY_DIR"] = telemetry_dir
+    try:
+        results = run_sweep(units, _blast_worker, processes, seeds=unit_seeds)
+    finally:
+        if telemetry_dir is not None:
+            if saved is None:
+                os.environ.pop("REPRO_TELEMETRY_DIR", None)
+            else:
+                os.environ["REPRO_TELEMETRY_DIR"] = saved
     reps = len(quality.seeds)
     return [_aggregate(results[i * reps:(i + 1) * reps]) for i in range(len(configs))]
 
@@ -146,10 +165,11 @@ def run_repeated(
     *,
     processes: int = 1,
     max_events: Optional[int] = 400_000_000,
+    telemetry_dir: Optional[str] = None,
 ) -> AggregateResult:
     """Run *config* once per seed and aggregate the paper's metrics."""
     return run_grid([config], profile, quality, processes=processes,
-                    max_events=max_events)[0]
+                    max_events=max_events, telemetry_dir=telemetry_dir)[0]
 
 
 def replace_seed(gen, seed: int):

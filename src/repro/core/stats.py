@@ -7,10 +7,15 @@ mode-switch count reported in the paper's Table III.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import List
+from typing import Deque, Tuple
 
-__all__ = ["ProtocolStats"]
+__all__ = ["ProtocolStats", "PHASE_TRACE_CAP"]
+
+#: maximum retained phase transitions; adversarial workloads can switch
+#: modes once per message forever, so the trace must be bounded
+PHASE_TRACE_CAP = 4096
 
 
 @dataclass
@@ -36,8 +41,19 @@ class ProtocolStats:
     copied_bytes: int = 0
     ring_acks_sent: int = 0
 
-    #: (time_ns, new_phase) sender phase transitions, for diagnostics/plots
-    phase_trace: List[tuple] = field(default_factory=list)
+    #: (time_ns, new_phase) phase transitions, for diagnostics/plots.
+    #: Capped at PHASE_TRACE_CAP entries (oldest dropped first); append via
+    #: :meth:`note_phase` so drops are counted.
+    phase_trace: Deque[Tuple[int, int]] = field(default_factory=deque)
+    #: transitions evicted from :attr:`phase_trace` at the cap
+    phase_trace_dropped: int = 0
+
+    def note_phase(self, time_ns: int, phase: int) -> None:
+        """Record a phase transition, evicting the oldest at the cap."""
+        if len(self.phase_trace) >= PHASE_TRACE_CAP:
+            self.phase_trace.popleft()
+            self.phase_trace_dropped += 1
+        self.phase_trace.append((time_ns, phase))
 
     @property
     def total_transfers(self) -> int:

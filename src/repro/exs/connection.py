@@ -132,6 +132,8 @@ class ExsConnection:
         self._last_rx_phase = 0
         self._last_discarded = 0
         self._wr_ids = itertools.count(1)
+        #: the peer endpoint's conn_id, learnt from its hello (0 = unknown)
+        self.peer_conn_id = 0
         self._kick = Signal(sim)
         self._engine = None
         self.established = False
@@ -152,6 +154,9 @@ class ExsConnection:
             "credits": self.options.credits,
             "mode": self.options.mode.value,
             "socket_type": self.socket_type.value,
+            # lets telemetry pair the two endpoints of one socket pair,
+            # which span stitching needs to follow a message across hosts
+            "conn_id": self.conn_id,
         }
 
     def post_initial_recvs(self) -> None:
@@ -188,6 +193,12 @@ class ExsConnection:
             ring_rkey=int(peer["ring_rkey"]),
             ring_capacity=int(peer["ring_capacity"]),
         )
+        self.peer_conn_id = int(peer.get("conn_id", 0))
+        if self.tracer is not None:
+            self.trace("conn_open", peer=self.peer_conn_id)
+        telemetry = getattr(self.host, "telemetry", None)
+        if telemetry is not None:
+            telemetry.register_connection(self)
         self.established = True
         self._engine = self.sim.process(self._engine_loop(), name=f"exs{self.conn_id}-engine")
         # An engine death is an implementation bug; surface it immediately
@@ -228,7 +239,7 @@ class ExsConnection:
         if tx_algo is not None:
             if tx_algo.phase != self._last_tx_phase:
                 self._last_tx_phase = tx_algo.phase
-                self.tx_stats.phase_trace.append((self.sim.now, tx_algo.phase))
+                self.tx_stats.note_phase(self.sim.now, tx_algo.phase)
                 self.trace("phase", side="tx", phase=tx_algo.phase)
             d = self.tx_stats.adverts_discarded
             if d != self._last_discarded:
@@ -237,7 +248,7 @@ class ExsConnection:
         rx_algo = getattr(self.rx, "algo", None)
         if rx_algo is not None and rx_algo.phase != self._last_rx_phase:
             self._last_rx_phase = rx_algo.phase
-            self.rx_stats.phase_trace.append((self.sim.now, rx_algo.phase))
+            self.rx_stats.note_phase(self.sim.now, rx_algo.phase)
             self.trace("phase", side="rx", phase=rx_algo.phase)
 
     # ------------------------------------------------------------------

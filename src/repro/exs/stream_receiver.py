@@ -122,7 +122,9 @@ class StreamReceiverHalf:
         # The memcpy occupies the library thread — this cost is the origin
         # of the indirect protocol's high receiver CPU usage (paper Fig. 10).
         if conn.tracer is not None:
-            conn.trace("copy", nbytes=plan.nbytes)
+            # algo.seq is the stream position of the ring head — the copied
+            # range is [seq, seq + nbytes), which is what span stitching uses
+            conn.trace("copy", nbytes=plan.nbytes, seq=self.algo.seq)
         yield from conn.host.cpu.work(conn.host.copy_ns(plan.nbytes))
         urecv: UserRecv = plan.entry.context
         dest = plan.dest_offset
@@ -171,6 +173,8 @@ class StreamReceiverHalf:
             self.algo.queue.popleft()
             entry.completed = True
             self.bytes_delivered_total += entry.filled
+            if self.conn.tracer is not None:
+                self.conn.trace("deliver", nbytes=entry.filled, eof=True)
             urecv: UserRecv = entry.context
             urecv.eq.post(
                 ExsEvent(
@@ -196,6 +200,10 @@ class StreamReceiverHalf:
         urecv: UserRecv = entry.context
         self.last_delivery_ns = self.conn.sim.now
         self.bytes_delivered_total += entry.filled
+        if self.conn.tracer is not None:
+            # deliveries are in stream order (RC), so spans can recover the
+            # exact delivered range from the cumulative nbytes
+            self.conn.trace("deliver", nbytes=entry.filled)
         urecv.eq.post(
             ExsEvent(
                 kind=ExsEventType.RECV,

@@ -101,6 +101,9 @@ class StreamSenderHalf:
             posted_at_ns=self.conn.sim.now,
         )
         self.pending.append(usend)
+        if self.conn.tracer is not None:
+            # span root: one "send" per exs_send, in submit (= stream) order
+            self.conn.trace("send", send_id=usend.send_id, nbytes=nbytes)
         return usend
 
     # ------------------------------------------------------------------
@@ -230,6 +233,8 @@ class StreamSenderHalf:
         usend.acked += nbytes
         self.bytes_acked_total += nbytes
         self.last_ack_ns = self.conn.sim.now
+        if usend.acked == usend.nbytes and self.conn.tracer is not None:
+            self.conn.trace("send_done", send_id=usend.send_id, nbytes=usend.nbytes)
         if usend.acked == usend.nbytes and usend.notify_completion:
             usend.eq.post(
                 ExsEvent(

@@ -1,0 +1,48 @@
+"""repro.obs — unified telemetry: metrics, sampling, spans, exports, reports.
+
+The observability layer every perf/robustness change measures itself
+against (see docs/OBSERVABILITY.md):
+
+* :mod:`repro.obs.registry` — named counters / pull gauges / log2 histograms
+* :mod:`repro.obs.sampler` — simulator-clock time-series sampling
+* :mod:`repro.obs.spans` — per-message span stitching over the tracer
+* :mod:`repro.obs.telemetry` — the session facade (``Telemetry.attach``)
+* :mod:`repro.obs.export` — JSONL / CSV / Prometheus-text artifacts
+* :mod:`repro.obs.report` — text/Markdown run reports
+* ``python -m repro.obs`` — run a scenario (or load an artifact) and report
+"""
+
+from .export import (
+    SCHEMA_VERSION,
+    RunArtifact,
+    load_jsonl,
+    validate_records,
+    write_csv,
+    write_jsonl,
+    write_prometheus,
+)
+from .registry import Counter, Gauge, Histogram, MetricsRegistry
+from .report import render_report
+from .sampler import Sampler, TimeSeries
+from .spans import MessageSpan, build_spans
+from .telemetry import Telemetry
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MessageSpan",
+    "MetricsRegistry",
+    "RunArtifact",
+    "SCHEMA_VERSION",
+    "Sampler",
+    "Telemetry",
+    "TimeSeries",
+    "build_spans",
+    "load_jsonl",
+    "render_report",
+    "validate_records",
+    "write_csv",
+    "write_jsonl",
+    "write_prometheus",
+]

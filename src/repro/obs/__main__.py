@@ -1,0 +1,223 @@
+"""``python -m repro.obs`` — run an observed scenario, or report an artifact.
+
+Subcommands::
+
+    python -m repro.obs run [--scenario quickstart|blast|adaptive]
+                            [--messages N] [--seed N] [--interval-us N]
+                            [--out run.jsonl] [--csv run.csv] [--prom run.prom]
+                            [--format text|markdown] [--top K] [--width W]
+    python -m repro.obs report run.jsonl [--format ...] [--top K] [--width W]
+    python -m repro.obs smoke [--out run.jsonl]
+
+``run`` with no arguments executes the quickstart scenario and prints the
+text run report.  ``smoke`` is the CI gate: it runs a small traced
+scenario, round-trips the JSONL artifact, validates the export schema, and
+fails if any sent message is missing a complete span.
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import sys
+from typing import List, Optional
+
+from .export import load_jsonl, write_csv, write_jsonl, write_prometheus
+from .report import render_report
+from .telemetry import Telemetry
+
+SCENARIOS = ("quickstart", "blast", "adaptive")
+
+
+# ---------------------------------------------------------------------------
+# scenarios
+# ---------------------------------------------------------------------------
+def _run_quickstart(messages: int, seed: int, interval_us: int) -> Telemetry:
+    """The quickstart byte stream (real data), with telemetry attached."""
+    from ..exs import BlockingSocket
+    from ..testbed import Testbed
+
+    port = 4000
+    cycle = [64, 1_000, 64_000, 1_000_000, 250_000, 8]
+    sizes = [cycle[i % len(cycle)] for i in range(messages)]
+    total = sum(sizes)
+
+    tb = Testbed(seed=seed)
+    tel = Telemetry.attach(tb, sample_interval_ns=interval_us * 1000)
+
+    def server():
+        conn = yield from BlockingSocket.accept_one(tb.server, port)
+        got = 0
+        while got < total:
+            data = yield from conn.recv_bytes(1 << 20)
+            got += len(data)
+
+    def client():
+        conn = yield from BlockingSocket.connect(tb.client, port)
+        for i, size in enumerate(sizes):
+            yield from conn.send_bytes(bytes([i % 251]) * size)
+        yield from conn.close()
+
+    tb.sim.process(server(), name="server")
+    tb.sim.process(client(), name="client")
+    tb.run(max_events=200_000_000)
+    tel.finish(scenario="quickstart", messages=messages, seed=seed)
+    return tel
+
+
+def _run_blast(messages: int, seed: int, interval_us: int,
+               adaptive: bool = False) -> Telemetry:
+    """A blast run (synthetic data); ``adaptive`` uses a phased workload
+    that forces direct<->indirect mode switches."""
+    from ..apps.blast import BlastConfig, run_blast
+    from ..apps.workloads import ExponentialSizes, FixedSizes, PhasedSizes
+    from ..testbed import Testbed
+
+    if adaptive:
+        third = max(1, messages // 3)
+        sizes = PhasedSizes([
+            (FixedSizes(1 << 20), third),
+            (FixedSizes(32 << 10), messages - 2 * third),
+            (FixedSizes(1 << 20), third),
+        ])
+        cfg = BlastConfig(total_messages=messages, sizes=sizes,
+                          outstanding_sends=4, outstanding_recvs=4,
+                          recv_buffer_bytes=1 << 20)
+    else:
+        cfg = BlastConfig(total_messages=messages,
+                          sizes=ExponentialSizes(seed=seed))
+    tb = Testbed(seed=seed)
+    tel = Telemetry.attach(tb, sample_interval_ns=interval_us * 1000)
+    run_blast(cfg, testbed=tb, seed=seed, max_events=400_000_000)
+    tel.finish(scenario="adaptive" if adaptive else "blast",
+               messages=messages, seed=seed)
+    return tel
+
+
+def run_scenario(scenario: str, messages: int, seed: int, interval_us: int) -> Telemetry:
+    if scenario == "quickstart":
+        return _run_quickstart(messages, seed, interval_us)
+    if scenario == "blast":
+        return _run_blast(messages, seed, interval_us)
+    if scenario == "adaptive":
+        return _run_blast(messages, seed, interval_us, adaptive=True)
+    raise ValueError(f"unknown scenario {scenario!r}")
+
+
+# ---------------------------------------------------------------------------
+# commands
+# ---------------------------------------------------------------------------
+def _cmd_run(args) -> int:
+    tel = run_scenario(args.scenario, args.messages, args.seed, args.interval_us)
+    if args.out:
+        with open(args.out, "w") as fh:
+            n = write_jsonl(fh, tel)
+        print(f"[wrote {n} records to {args.out}]", file=sys.stderr)
+    if args.csv:
+        with open(args.csv, "w") as fh:
+            write_csv(fh, tel)
+        print(f"[wrote series CSV to {args.csv}]", file=sys.stderr)
+    if args.prom:
+        with open(args.prom, "w") as fh:
+            write_prometheus(fh, tel)
+        print(f"[wrote Prometheus text to {args.prom}]", file=sys.stderr)
+    print(render_report(tel, fmt=args.format, width=args.width, top_k=args.top))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    with open(args.artifact) as fh:
+        art = load_jsonl(fh)
+    print(render_report(art, fmt=args.format, width=args.width, top_k=args.top))
+    return 0
+
+
+def _cmd_smoke(args) -> int:
+    """CI gate: run, export, re-load (schema check), verify span coverage."""
+    messages = 24
+    tel = run_scenario("quickstart", messages=messages, seed=7, interval_us=50)
+
+    buf = io.StringIO()
+    write_jsonl(buf, tel)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(buf.getvalue())
+    buf.seek(0)
+    try:
+        art = load_jsonl(buf)  # raises on schema drift
+    except ValueError as exc:
+        print(f"obs smoke FAILED: {exc}", file=sys.stderr)
+        return 1
+
+    failures: List[str] = []
+    if len(art.spans) != messages:
+        failures.append(f"expected {messages} spans, got {len(art.spans)}")
+    incomplete = [s for s in art.spans if not s.complete]
+    if incomplete:
+        failures.append(
+            f"{len(incomplete)} incomplete spans "
+            f"(e.g. send_id={incomplete[0].send_id} {incomplete[0].to_dict()})")
+    if not any(n.endswith(".tx.direct_transfers") for n in art.series):
+        failures.append("no per-connection transfer series sampled")
+    if not any(h["count"] for h in art.hists if h["name"] == "span.e2e_ns"):
+        failures.append("span.e2e_ns histogram is empty")
+    report = render_report(art)
+    for needle in ("telemetry run report", "connection summary",
+                   "slowest spans", "latency histograms"):
+        if needle not in report:
+            failures.append(f"report section missing: {needle!r}")
+
+    if failures:
+        print("obs smoke FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print(f"obs smoke ok: {len(art.spans)} complete spans, "
+          f"{len(art.series)} series, schema v1 round-trip clean")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+def _add_report_opts(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--format", choices=("text", "markdown"), default="text",
+                   help="report flavour (default: text)")
+    p.add_argument("--top", type=int, default=5, help="slowest spans to show")
+    p.add_argument("--width", type=int, default=64, help="strip-chart width")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Run an observed scenario or render a telemetry artifact.",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    p_run = sub.add_parser("run", help="run a scenario with telemetry and report")
+    p_run.add_argument("--scenario", choices=SCENARIOS, default="quickstart")
+    p_run.add_argument("--messages", type=int, default=24)
+    p_run.add_argument("--seed", type=int, default=7)
+    p_run.add_argument("--interval-us", type=int, default=100,
+                       help="sample interval in simulated microseconds")
+    p_run.add_argument("--out", help="write the JSONL telemetry artifact here")
+    p_run.add_argument("--csv", help="write the time-series CSV here")
+    p_run.add_argument("--prom", help="write the Prometheus text snapshot here")
+    _add_report_opts(p_run)
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_rep = sub.add_parser("report", help="render a report from a JSONL artifact")
+    p_rep.add_argument("artifact", help="path to a repro.obs JSONL export")
+    _add_report_opts(p_rep)
+    p_rep.set_defaults(fn=_cmd_report)
+
+    p_smoke = sub.add_parser("smoke", help="CI schema/coverage gate")
+    p_smoke.add_argument("--out", help="also write the artifact here (CI upload)")
+    p_smoke.set_defaults(fn=_cmd_smoke)
+
+    args = parser.parse_args(argv if argv is not None else sys.argv[1:])
+    if args.command is None:
+        args = parser.parse_args(["run"])
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,180 @@
+"""Metrics registry: named counters, gauges, and log-bucketed histograms.
+
+One registry per telemetry session unifies the instrumentation that used to
+be scattered over :class:`~repro.core.stats.ProtocolStats`,
+:class:`~repro.simnet.link.LinkStats`, and the per-host CPU busy-interval
+lists.  Three metric kinds:
+
+* :class:`Counter` — a monotonically increasing integer, incremented by the
+  instrumented code (``counter.inc()`` is one attribute add).
+* :class:`Gauge` — *pull*-style: wraps a zero-argument callable that reads
+  the current value straight out of existing simulation state.  Registering
+  a gauge adds **zero** cost to the hot path — the value is only computed
+  when the :class:`~repro.obs.sampler.Sampler` (or an exporter) asks.
+* :class:`Histogram` — power-of-two ("log2") bucketed distribution for
+  latency-style values; observing costs one ``bit_length`` and one list
+  index.
+
+The disabled-path discipline matches the tracer's: components hold a
+telemetry reference that is ``None`` by default and guard emission with a
+single attribute check (see ``ExsConnection.trace``).  Collectors let the
+sampler pick up metrics for objects created *after* attachment (EXS
+connections appear mid-simulation): a collector is a callable returning a
+``{name: value}`` mapping evaluated at snapshot time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: enough log2 buckets for values up to 2**63 ns (~292 years)
+_HIST_BUCKETS = 64
+
+
+class Counter:
+    """A named monotonically increasing value."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A named value read on demand from a zero-argument callable."""
+
+    __slots__ = ("name", "help", "fn")
+
+    def __init__(self, name: str, fn: Callable[[], float], help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.fn = fn
+
+    def read(self) -> float:
+        return self.fn()
+
+
+class Histogram:
+    """Log2-bucketed distribution of non-negative integer observations.
+
+    Bucket ``i`` counts values whose upper bound is ``2**i - 1`` (i.e. all
+    values with ``bit_length() == i``; bucket 0 holds exact zeros).  This
+    gives latency histograms spanning nanoseconds to seconds in 64 slots
+    with O(1) observation cost.
+    """
+
+    __slots__ = ("name", "help", "counts", "count", "sum")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.counts: List[int] = [0] * _HIST_BUCKETS
+        self.count = 0
+        self.sum = 0
+
+    def observe(self, value: int) -> None:
+        if value < 0:
+            raise ValueError(f"histogram {self.name!r}: negative observation {value}")
+        self.counts[value.bit_length()] += 1
+        self.count += 1
+        self.sum += value
+
+    def nonzero_buckets(self) -> List[Tuple[int, int]]:
+        """``(upper_bound, count)`` for every populated bucket, ascending."""
+        return [
+            ((1 << i) - 1, c) for i, c in enumerate(self.counts) if c
+        ]
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> int:
+        """Upper bound of the bucket containing the *q*-quantile (0..1)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if not self.count:
+            return 0
+        target = q * self.count
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if c and seen >= target:
+                return (1 << i) - 1
+        return (1 << (_HIST_BUCKETS - 1)) - 1  # pragma: no cover - defensive
+
+
+class MetricsRegistry:
+    """Name-keyed home for counters, gauges, histograms, and collectors."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._collectors: List[Callable[[], Dict[str, float]]] = []
+
+    # ------------------------------------------------------------------
+    # registration (idempotent by name)
+    # ------------------------------------------------------------------
+    def counter(self, name: str, help: str = "") -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            self._check_unique(name)
+            c = self._counters[name] = Counter(name, help)
+        return c
+
+    def gauge(self, name: str, fn: Callable[[], float], help: str = "") -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            self._check_unique(name)
+            g = self._gauges[name] = Gauge(name, fn, help)
+        return g
+
+    def histogram(self, name: str, help: str = "") -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            self._check_unique(name)
+            h = self._histograms[name] = Histogram(name, help)
+        return h
+
+    def add_collector(self, fn: Callable[[], Dict[str, float]]) -> None:
+        """Register a callable producing ``{name: value}`` at snapshot time."""
+        self._collectors.append(fn)
+
+    def _check_unique(self, name: str) -> None:
+        if name in self._counters or name in self._gauges or name in self._histograms:
+            raise ValueError(f"metric {name!r} already registered with a different kind")
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, float]:
+        """Current scalar value of every counter, gauge, and collector entry.
+
+        Histograms are excluded (they are not scalars); exporters read them
+        through :meth:`histograms`.
+        """
+        out: Dict[str, float] = {}
+        for name, c in self._counters.items():
+            out[name] = c.value
+        for name, g in self._gauges.items():
+            out[name] = g.read()
+        for fn in self._collectors:
+            out.update(fn())
+        return out
+
+    def histograms(self) -> Iterable[Histogram]:
+        return self._histograms.values()
+
+    def get_histogram(self, name: str) -> Optional[Histogram]:
+        return self._histograms.get(name)
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)

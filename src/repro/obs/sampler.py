@@ -1,0 +1,132 @@
+"""Simulator-clock-driven metric sampling into time series.
+
+The :class:`Sampler` snapshots a :class:`~repro.obs.registry.MetricsRegistry`
+every ``interval_ns`` of *simulated* time, producing one
+:class:`TimeSeries` per metric — queue depths, ring occupancy, credits,
+link bytes, CPU busy time, direct/indirect transfer counts — so that
+"direct-ratio over time" plots exist where the paper's Table III only has
+end-of-run totals.
+
+Observation discipline (the determinism contract): a sampler tick only
+*reads* simulation state.  It schedules its own calendar entries, which
+consume sequence numbers, but the relative order of all other events is
+preserved (ties are broken by a monotone per-simulator counter), it never
+consumes randomness, and it never touches protocol state — so simulated
+results are bit-identical with sampling on or off.  The regression test in
+``tests/obs/test_determinism.py`` enforces this.
+
+The tick reschedules itself only while the calendar holds other events;
+when the simulation quiesces the sampler stops, so ``Simulator.run()`` with
+no ``until`` still terminates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..simnet import Simulator
+from .registry import MetricsRegistry
+
+__all__ = ["Sampler", "TimeSeries"]
+
+
+class TimeSeries:
+    """One metric's sampled ``(time_ns, value)`` points, in time order."""
+
+    __slots__ = ("name", "points")
+
+    def __init__(self, name: str, points: Optional[List[Tuple[int, float]]] = None) -> None:
+        self.name = name
+        self.points: List[Tuple[int, float]] = points if points is not None else []
+
+    def append(self, t_ns: int, value: float) -> None:
+        self.points.append((t_ns, value))
+
+    def times(self) -> List[int]:
+        return [t for t, _v in self.points]
+
+    def values(self) -> List[float]:
+        return [v for _t, v in self.points]
+
+    def last(self) -> Optional[float]:
+        return self.points[-1][1] if self.points else None
+
+    def deltas(self) -> List[Tuple[int, float]]:
+        """Per-interval increments of a cumulative series."""
+        out: List[Tuple[int, float]] = []
+        prev = 0.0
+        for t, v in self.points:
+            out.append((t, v - prev))
+            prev = v
+        return out
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TimeSeries {self.name!r} n={len(self.points)}>"
+
+
+class Sampler:
+    """Periodic registry snapshots on the simulated clock."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        registry: MetricsRegistry,
+        *,
+        interval_ns: int = 100_000,
+        max_samples: int = 100_000,
+    ) -> None:
+        if interval_ns <= 0:
+            raise ValueError("sample interval must be positive")
+        self.sim = sim
+        self.registry = registry
+        self.interval_ns = int(interval_ns)
+        self.max_samples = int(max_samples)
+        self.series: Dict[str, TimeSeries] = {}
+        self.samples_taken = 0
+        #: True once the cap stopped further sampling (reported, not silent)
+        self.truncated = False
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Schedule the first tick ``interval_ns`` from now (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self.sim.call_in(self.interval_ns, self._tick, None)
+
+    def _tick(self, _arg) -> None:
+        self.sample_now()
+        if self.samples_taken >= self.max_samples:
+            # Bounded memory on very long runs; the truncation is surfaced
+            # in exports/reports rather than silently losing the tail.
+            self.truncated = True
+            return
+        # Reschedule only while the simulation is still live: if the
+        # calendar is empty nothing can ever run again, and a standing
+        # tick would keep `run(until=None)` from terminating.
+        if self.sim.peek() is not None:
+            self.sim.call_in(self.interval_ns, self._tick, None)
+        else:
+            self._started = False
+
+    def sample_now(self) -> None:
+        """Record one snapshot at the current simulated time."""
+        now = self.sim.now
+        series = self.series
+        for name, value in self.registry.snapshot().items():
+            ts = series.get(name)
+            if ts is None:
+                ts = series[name] = TimeSeries(name)
+            ts.append(now, value)
+        self.samples_taken += 1
+
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> Optional[TimeSeries]:
+        return self.series.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self.series)

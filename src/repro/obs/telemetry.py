@@ -1,0 +1,186 @@
+"""The telemetry session: registry + sampler + tracer + spans, in one handle.
+
+:meth:`Telemetry.attach` is the one call that turns a silent testbed into an
+observed one::
+
+    tb = Testbed(seed=1)
+    tel = Telemetry.attach(tb)
+    ... run ...
+    tel.finish()
+    print(render_report(tel))          # repro.obs.report
+    tel.export(open("run.jsonl", "w")) # repro.obs.export
+
+Attachment wires the shared :class:`~repro.trace.ProtocolTracer` onto both
+hosts (so EXS connections emit protocol + span events), registers pull
+gauges over the existing simulation state (CPU busy time, memory, link
+counters), starts the :class:`~repro.obs.sampler.Sampler`, and exposes a
+``telemetry`` attribute on each host so connections created later register
+themselves for per-connection sampling (ring occupancy, credits, queue
+depth, direct/indirect counters).
+
+Everything here observes and never perturbs: gauges and collectors are
+read-only, and the sampler's calendar entries cannot reorder other events
+(see the determinism note in :mod:`repro.obs.sampler`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..trace import ProtocolTracer
+from .registry import MetricsRegistry
+from .sampler import Sampler
+from .spans import MessageSpan, build_spans
+
+__all__ = ["Telemetry"]
+
+#: histogram metric per span stage, observed at :meth:`Telemetry.finish`
+SPAN_STAGE_HISTOGRAMS = ("queue_ns", "transport_ns", "delivery_ns", "e2e_ns")
+
+
+class Telemetry:
+    """One telemetry session over one simulator."""
+
+    def __init__(
+        self,
+        sim,
+        *,
+        sample_interval_ns: int = 100_000,
+        span_capacity: int = 1_000_000,
+        max_samples: int = 100_000,
+    ) -> None:
+        self.sim = sim
+        self.registry = MetricsRegistry()
+        self.tracer = ProtocolTracer(capacity=span_capacity)
+        self.sampler = Sampler(
+            sim, self.registry,
+            interval_ns=sample_interval_ns, max_samples=max_samples,
+        )
+        #: free-form run metadata carried into exports (scenario, seed, ...)
+        self.meta: Dict[str, Any] = {}
+        self._conns: List[Any] = []
+        self._spans: Optional[List[MessageSpan]] = None
+        self._finished = False
+        self.registry.add_collector(self._collect_connections)
+        self.conns_opened = self.registry.counter(
+            "conns.opened", "EXS connections registered with telemetry")
+
+    # ------------------------------------------------------------------
+    # attachment
+    # ------------------------------------------------------------------
+    @classmethod
+    def attach(
+        cls,
+        testbed,
+        *,
+        sample_interval_ns: int = 100_000,
+        span_capacity: int = 1_000_000,
+        max_samples: int = 100_000,
+    ) -> "Telemetry":
+        """Create a session and wire it through a :class:`~repro.testbed.Testbed`."""
+        tel = cls(
+            testbed.sim,
+            sample_interval_ns=sample_interval_ns,
+            span_capacity=span_capacity,
+            max_samples=max_samples,
+        )
+        tel.meta.setdefault("seed", getattr(testbed, "seed", None))
+        profile = getattr(testbed, "profile", None)
+        if profile is not None:
+            tel.meta.setdefault("profile", getattr(profile, "name", str(profile)))
+        for host in (testbed.client_host, testbed.server_host):
+            tel.observe_host(host)
+        tel.observe_link(testbed.link)
+        tel.sampler.start()
+        return tel
+
+    def observe_host(self, host) -> None:
+        """Wire tracing + register the standard gauges for one host."""
+        host.tracer = self.tracer
+        host.telemetry = self
+        name = host.name
+        reg = self.registry
+        reg.gauge(f"{name}.cpu.busy_ns", lambda h=host: h.cpu.busy_ns_total,
+                  "library-core busy time (cumulative ns)")
+        reg.gauge(f"{name}.app_cpu.busy_ns", lambda h=host: h.app_cpu.busy_ns_total,
+                  "application-core busy time (cumulative ns)")
+        reg.gauge(f"{name}.mem.allocated_bytes", lambda h=host: h.memory.allocated_bytes,
+                  "bytes allocated in the host arena")
+        reg.gauge(f"{name}.mem.buffers", lambda h=host: h.memory.buffer_count,
+                  "buffers allocated in the host arena")
+
+    def observe_link(self, link) -> None:
+        """Register per-direction link counters as pull gauges."""
+        reg = self.registry
+        for d in link.directions:
+            prefix = f"link.dir{d.index}"
+            reg.gauge(f"{prefix}.messages", lambda d=d: d.stats.messages,
+                      "messages transmitted (cumulative)")
+            reg.gauge(f"{prefix}.wire_bytes", lambda d=d: d.stats.wire_bytes,
+                      "payload bytes transmitted (cumulative)")
+            reg.gauge(f"{prefix}.busy_ns", lambda d=d: d.stats.busy_ns,
+                      "transmitter busy time (cumulative ns)")
+
+    def register_connection(self, conn) -> None:
+        """Called by :class:`~repro.exs.connection.ExsConnection` at handshake."""
+        self._conns.append(conn)
+        self.conns_opened.inc()
+
+    def _collect_connections(self) -> Dict[str, float]:
+        """Per-connection sample-time metrics (connections appear mid-run)."""
+        out: Dict[str, float] = {}
+        for conn in self._conns:
+            p = f"conn{conn.conn_id}.{conn.host.name}"
+            tx, rx = conn.tx_stats, conn.rx_stats
+            out[f"{p}.tx.direct_transfers"] = tx.direct_transfers
+            out[f"{p}.tx.indirect_transfers"] = tx.indirect_transfers
+            out[f"{p}.tx.direct_bytes"] = tx.direct_bytes
+            out[f"{p}.tx.indirect_bytes"] = tx.indirect_bytes
+            out[f"{p}.tx.mode_switches"] = tx.mode_switches
+            out[f"{p}.tx.pending_sends"] = len(getattr(conn.tx, "pending", ()))
+            out[f"{p}.rx.copies"] = rx.copies
+            tx_algo = getattr(conn.tx, "algo", None)
+            if tx_algo is not None:
+                out[f"{p}.tx.ring_free"] = tx_algo.ring.free
+            rx_algo = getattr(conn.rx, "algo", None)
+            if rx_algo is not None and hasattr(rx_algo, "ring"):
+                out[f"{p}.rx.ring_stored"] = rx_algo.ring.stored
+            if conn.credits is not None:
+                out[f"{p}.credits.available"] = conn.credits.available
+        return out
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    def finish(self, **meta) -> List[MessageSpan]:
+        """Take a final sample, stitch spans, and fill stage histograms.
+
+        Idempotent; extra keyword arguments are merged into :attr:`meta`.
+        """
+        self.meta.update(meta)
+        if self._finished:
+            return self.spans()
+        self._finished = True
+        self.sampler.sample_now()
+        spans = self.spans()
+        for stage in SPAN_STAGE_HISTOGRAMS:
+            hist = self.registry.histogram(
+                f"span.{stage}", f"per-message {stage} latency")
+            for span in spans:
+                v = getattr(span, stage)
+                if v is not None and v >= 0:
+                    hist.observe(v)
+        return spans
+
+    def spans(self) -> List[MessageSpan]:
+        """Per-message spans stitched from the trace (cached)."""
+        if self._spans is None:
+            self._spans = build_spans(self.tracer.events)
+        return self._spans
+
+    def export(self, fh, **meta) -> int:
+        """Write the whole session as JSONL; returns the record count."""
+        from .export import write_jsonl
+
+        self.finish(**meta)
+        return write_jsonl(fh, self)

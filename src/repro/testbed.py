@@ -82,6 +82,21 @@ class Testbed:
             ConnectionManager(self.server_device), seed=seed * 2 + 2,
         )
 
+        #: set by :meth:`attach_telemetry`
+        self.telemetry = None
+
+    def attach_telemetry(self, **kwargs):
+        """Attach a :class:`repro.obs.Telemetry` session to this testbed.
+
+        Keyword arguments are forwarded to
+        :meth:`repro.obs.Telemetry.attach` (``sample_interval_ns``,
+        ``span_capacity``, ``max_samples``).  Returns the session.
+        """
+        from .obs import Telemetry
+
+        self.telemetry = Telemetry.attach(self, **kwargs)
+        return self.telemetry
+
     def run(self, until=None, *, max_events: Optional[int] = None):
         """Run the simulation (see :meth:`repro.simnet.Simulator.run`)."""
         return self.sim.run(until, max_events=max_events)

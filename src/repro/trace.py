@@ -21,11 +21,13 @@ check when disabled.
 from __future__ import annotations
 
 import csv as _csv
+import json as _json
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import IO, Dict, Iterable, List, Optional, Tuple
 
-__all__ = ["TraceEvent", "ProtocolTracer", "render_timeline", "summarize"]
+__all__ = ["TraceEvent", "ProtocolTracer", "events_from_csv",
+           "render_timeline", "summarize"]
 
 
 @dataclass(frozen=True)
@@ -91,15 +93,43 @@ class ProtocolTracer:
         return list(seen)
 
     def to_csv(self, fh: IO[str]) -> int:
-        """Write all events as CSV; returns the row count."""
+        """Write all events as CSV; returns the row count.
+
+        The kind-specific payload goes into the ``fields`` column as one
+        JSON object (a ``k=v;k=v`` packing would corrupt on values that
+        themselves contain ``;`` or ``=``).  :func:`events_from_csv`
+        round-trips the export.
+        """
         writer = _csv.writer(fh)
         writer.writerow(["time_ns", "conn", "host", "kind", "fields"])
         for e in self.events:
             writer.writerow(
                 [e.time_ns, e.conn, e.host, e.kind,
-                 ";".join(f"{k}={v}" for k, v in e.fields)]
+                 _json.dumps(dict(e.fields), sort_keys=True, default=str,
+                             separators=(",", ":"))]
             )
         return len(self.events)
+
+
+def events_from_csv(fh: IO[str]) -> List[TraceEvent]:
+    """Parse a :meth:`ProtocolTracer.to_csv` export back into events.
+
+    JSON-representable field values (ints, floats, strings, bools) come
+    back exactly; anything else was stringified on export.
+    """
+    reader = _csv.reader(fh)
+    header = next(reader, None)
+    if header != ["time_ns", "conn", "host", "kind", "fields"]:
+        raise ValueError(f"not a protocol-trace CSV (header {header!r})")
+    events: List[TraceEvent] = []
+    for row in reader:
+        if not row:
+            continue
+        time_ns, conn, host, kind, fields_json = row
+        fields = _json.loads(fields_json) if fields_json else {}
+        events.append(TraceEvent(int(time_ns), int(conn), host, kind,
+                                 tuple(sorted(fields.items()))))
+    return events
 
 
 def render_timeline(tracer: ProtocolTracer, width: int = 72) -> str:
@@ -132,14 +162,27 @@ def render_timeline(tracer: ProtocolTracer, width: int = 72) -> str:
 
 
 def summarize(tracer: ProtocolTracer) -> str:
-    """Per-connection counts of the interesting events."""
+    """Per-connection event counts, byte totals, and direct ratio."""
     counts: Dict[Tuple[int, str], Dict[str, int]] = defaultdict(lambda: defaultdict(int))
+    tx_bytes: Dict[Tuple[int, str], Dict[str, int]] = defaultdict(
+        lambda: {"direct": 0, "indirect": 0})
     for e in tracer.events:
-        counts[(e.conn, e.host)][e.kind] += 1
+        key = (e.conn, e.host)
+        counts[key][e.kind] += 1
+        if e.kind in ("direct", "indirect"):
+            tx_bytes[key][e.kind] += e.get("nbytes", 0)
     lines = ["per-connection event counts:"]
     for (conn, host), kinds in sorted(counts.items()):
         detail = ", ".join(f"{k}={v}" for k, v in sorted(kinds.items()))
         lines.append(f"  conn {conn} @{host}: {detail}")
+        transfers = kinds.get("direct", 0) + kinds.get("indirect", 0)
+        if transfers:
+            b = tx_bytes[(conn, host)]
+            ratio = kinds.get("direct", 0) / transfers
+            lines.append(
+                f"    bytes: direct={b['direct']}, indirect={b['indirect']}, "
+                f"total={b['direct'] + b['indirect']}; direct_ratio={ratio:.3f}"
+            )
     if tracer.dropped:
         lines.append(f"  ({tracer.dropped} events dropped at capacity)")
     return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""Metrics registry: counters, gauges, histograms, collectors."""
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+def test_counter_increments():
+    reg = MetricsRegistry()
+    c = reg.counter("sends", "sends submitted")
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    assert reg.snapshot()["sends"] == 5
+
+
+def test_counter_registration_is_idempotent():
+    reg = MetricsRegistry()
+    a = reg.counter("x")
+    b = reg.counter("x")
+    assert a is b
+    assert len(reg) == 1
+
+
+def test_gauge_reads_live_state():
+    state = {"v": 1}
+    reg = MetricsRegistry()
+    reg.gauge("depth", lambda: state["v"])
+    assert reg.snapshot()["depth"] == 1
+    state["v"] = 42
+    assert reg.snapshot()["depth"] == 42
+
+
+def test_name_collision_across_kinds_rejected():
+    reg = MetricsRegistry()
+    reg.counter("m")
+    with pytest.raises(ValueError):
+        reg.gauge("m", lambda: 0)
+    with pytest.raises(ValueError):
+        reg.histogram("m")
+
+
+def test_collector_merged_into_snapshot():
+    reg = MetricsRegistry()
+    conns = []
+    reg.add_collector(lambda: {f"conn{i}.depth": d for i, d in enumerate(conns)})
+    assert "conn0.depth" not in reg.snapshot()
+    conns.append(7)  # object appears mid-run
+    assert reg.snapshot()["conn0.depth"] == 7
+
+
+def test_histogram_log2_bucketing():
+    h = Histogram("lat")
+    for v in (0, 1, 2, 3, 4, 1000):
+        h.observe(v)
+    assert h.count == 6
+    assert h.sum == 1010
+    buckets = dict(h.nonzero_buckets())
+    assert buckets[0] == 1        # the exact zero
+    assert buckets[1] == 1        # value 1
+    assert buckets[3] == 2        # values 2, 3
+    assert buckets[7] == 1        # value 4
+    assert buckets[1023] == 1     # value 1000
+    assert h.mean == pytest.approx(1010 / 6)
+
+
+def test_histogram_rejects_negative():
+    h = Histogram("lat")
+    with pytest.raises(ValueError):
+        h.observe(-1)
+
+
+def test_histogram_quantile_upper_bounds():
+    h = Histogram("lat")
+    for _ in range(99):
+        h.observe(10)        # bucket ub 15
+    h.observe(100_000)       # bucket ub 131071
+    assert h.quantile(0.5) == 15
+    assert h.quantile(1.0) == 131071
+    assert Histogram("empty").quantile(0.5) == 0
+    with pytest.raises(ValueError):
+        h.quantile(1.5)
+
+
+def test_snapshot_excludes_histograms():
+    reg = MetricsRegistry()
+    reg.histogram("h").observe(3)
+    assert "h" not in reg.snapshot()
+    assert reg.get_histogram("h").count == 1

@@ -1,0 +1,71 @@
+"""Sampler: periodic snapshots on the simulated clock, bounded, terminating."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, Sampler, TimeSeries
+from repro.simnet import Timeout
+
+
+def ticking_sim(sim, until_ns, step_ns=100):
+    """Keep the calendar non-empty until `until_ns` with no-op timeouts."""
+    for t in range(step_ns, until_ns + 1, step_ns):
+        Timeout(sim, t)
+
+
+def test_samples_at_interval(sim):
+    reg = MetricsRegistry()
+    reg.gauge("clock", lambda: sim.now)
+    sampler = Sampler(sim, reg, interval_ns=1000)
+    sampler.start()
+    ticking_sim(sim, 5000)
+    sim.run()
+    ts = sampler.get("clock")
+    assert ts.times() == [1000, 2000, 3000, 4000, 5000]
+    assert ts.values() == [1000.0, 2000.0, 3000.0, 4000.0, 5000.0]
+
+
+def test_sampler_stops_when_calendar_drains(sim):
+    """A standing tick must not keep run(until=None) alive forever."""
+    reg = MetricsRegistry()
+    sampler = Sampler(sim, reg, interval_ns=10)
+    sampler.start()
+    Timeout(sim, 35)
+    sim.run()  # would hang (or hit max_events) if the sampler kept rescheduling
+    assert sim.now <= 45
+    assert sampler.samples_taken >= 3
+
+
+def test_max_samples_truncates_and_reports(sim):
+    reg = MetricsRegistry()
+    reg.gauge("g", lambda: 0)
+    sampler = Sampler(sim, reg, interval_ns=10, max_samples=3)
+    sampler.start()
+    ticking_sim(sim, 1000, step_ns=10)
+    sim.run()
+    assert sampler.samples_taken == 3
+    assert sampler.truncated is True
+    assert len(sampler.get("g")) == 3
+
+
+def test_start_is_idempotent(sim):
+    reg = MetricsRegistry()
+    reg.gauge("g", lambda: 1)
+    sampler = Sampler(sim, reg, interval_ns=100)
+    ticking_sim(sim, 100)
+    sampler.start()
+    sampler.start()
+    sim.run()
+    # one tick, not two
+    assert len(sampler.get("g")) == 1
+
+
+def test_interval_must_be_positive(sim):
+    with pytest.raises(ValueError):
+        Sampler(sim, MetricsRegistry(), interval_ns=0)
+
+
+def test_series_deltas():
+    ts = TimeSeries("t", [(10, 2.0), (20, 5.0), (30, 5.0)])
+    assert ts.deltas() == [(10, 2.0), (20, 3.0), (30, 0.0)]
+    assert ts.last() == 5.0
+    assert TimeSeries("empty").last() is None

@@ -7,9 +7,11 @@ import pytest
 from helpers import run_procs
 from repro.apps import BlastConfig, PhasedSizes, FixedSizes, run_blast
 from repro.core import ProtocolMode
+from repro.core.stats import PHASE_TRACE_CAP, ProtocolStats
 from repro.exs import BlockingSocket
 from repro.testbed import Testbed
-from repro.trace import ProtocolTracer, TraceEvent, render_timeline, summarize
+from repro.trace import (ProtocolTracer, TraceEvent, events_from_csv,
+                         render_timeline, summarize)
 
 
 def traced_run(seed=5):
@@ -98,12 +100,62 @@ def test_csv_export():
     assert lines[0].startswith("time_ns,conn,host,kind")
 
 
+def test_csv_round_trip():
+    tracer = traced_run()
+    # adversarial values: the old "k=v;k=v" packing corrupted on these
+    tracer.emit(999_999, 9, "client", "note", label="a=b;c=d", text='quote"me')
+    buf = io.StringIO()
+    tracer.to_csv(buf)
+    buf.seek(0)
+    events = events_from_csv(buf)
+    assert events == tracer.events
+    noted = [e for e in events if e.kind == "note"][0]
+    assert noted.get("label") == "a=b;c=d"
+    assert noted.get("text") == 'quote"me'
+
+
+def test_csv_rejects_foreign_header():
+    with pytest.raises(ValueError):
+        events_from_csv(io.StringIO("a,b,c\n1,2,3\n"))
+
+
+def test_summarize_reports_bytes_and_direct_ratio():
+    tracer = ProtocolTracer()
+    tracer.emit(10, 1, "client", "direct", nbytes=3000, seq=0)
+    tracer.emit(20, 1, "client", "indirect", nbytes=1000, seq=3000)
+    text = summarize(tracer)
+    assert "direct=3000" in text
+    assert "indirect=1000" in text
+    assert "total=4000" in text
+    assert "direct_ratio=0.500" in text
+
+
+def test_timeline_single_timestamp_does_not_divide_by_zero():
+    tracer = ProtocolTracer()
+    for conn in (1, 2):
+        tracer.emit(5_000, conn, "client", "direct", nbytes=64, seq=0)
+    art = render_timeline(tracer, width=16)
+    assert "D" in art
+    assert "0.000 ms" in art  # span clamped to 1 ns, not a ZeroDivisionError
+
+
 def test_capacity_drops_are_counted():
     tracer = ProtocolTracer(capacity=2)
     for i in range(5):
         tracer.emit(i, 1, "h", "direct", nbytes=1)
     assert len(tracer.events) == 2
     assert tracer.dropped == 3
+
+
+def test_phase_trace_is_bounded():
+    stats = ProtocolStats()
+    for i in range(PHASE_TRACE_CAP + 25):
+        stats.note_phase(i, i % 2)
+    assert len(stats.phase_trace) == PHASE_TRACE_CAP
+    assert stats.phase_trace_dropped == 25
+    # oldest entries were the ones evicted
+    assert stats.phase_trace[0][0] == 25
+    assert stats.phase_trace[-1][0] == PHASE_TRACE_CAP + 24
 
 
 def test_connections_listing():
