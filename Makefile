@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test bench bench-smoke bench-paper figures examples obs-smoke all
+.PHONY: install test bench bench-smoke bench-paper figures examples obs-smoke chaos-smoke all
 
 install:
 	pip install -e . || python setup.py develop
@@ -25,6 +25,11 @@ bench-paper:
 # JSONL artifact behind for inspection / CI upload.
 obs-smoke:
 	python -m repro.obs smoke --out telemetry-smoke.jsonl
+
+# Fault-injection gate: stream transfers over a lossy wire must stay
+# byte-exact (or fail loudly), with a reduced sweep for CI turnaround.
+chaos-smoke:
+	REPRO_CHAOS_QUALITY=smoke pytest tests/chaos -q
 
 figures:
 	python -m repro.bench

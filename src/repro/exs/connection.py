@@ -31,6 +31,7 @@ from ..verbs import (
     CompletionChannel,
     CompletionQueue,
     Opcode,
+    QPStateError,
     QueuePair,
     RdmaDevice,
     RecvWR,
@@ -50,7 +51,7 @@ from .control import (
     RingAckMsg,
     decode_imm,
 )
-from .credits import CreditManager
+from .credits import CreditError, CreditManager
 from .eventqueue import ExsEvent, ExsEventType
 from .flags import ExsSocketOptions, SocketType
 from .seqpacket import SeqPacketReceiverHalf, SeqPacketSenderHalf
@@ -141,6 +142,10 @@ class ExsConnection:
         self.close_event_posted = False
         self._close_eq = None
         self._close_context = None
+        #: True once the transport/protocol failed under this connection;
+        #: every pending and future operation completes with an ERROR event.
+        self.broken = False
+        self.error: Optional[str] = None
 
     # ------------------------------------------------------------------
     # setup / handshake
@@ -255,6 +260,9 @@ class ExsConnection:
     # user operations (called by ExsSocket; asynchronous)
     # ------------------------------------------------------------------
     def user_send(self, buffer, mr, offset: int, nbytes: int, eq, context) -> None:
+        if self.broken:
+            self._post_error(eq, context)
+            return
         if self.options.sender_copy and self.socket_type is SocketType.SOCK_STREAM:
             # SDP-BCopy / rsockets semantics: copy into a pre-registered
             # library staging buffer on the application core, complete the
@@ -271,6 +279,10 @@ class ExsConnection:
         yield from self.host.app_cpu.work(
             self.costs.copy_ns(nbytes, self.host.copy_bandwidth_bps)
         )
+        if self.broken:
+            # The connection died while the staging copy ran.
+            self._post_error(eq, context)
+            return
         staging = self.host.alloc(nbytes, real=self.options.real_data and buffer.is_real,
                                   label=f"exs{self.conn_id}:stage")
         if staging.is_real:
@@ -287,6 +299,9 @@ class ExsConnection:
         self.kick()
 
     def user_recv(self, urecv) -> None:
+        if self.broken:
+            self._post_error(urecv.eq, urecv.context)
+            return
         advert = self.rx.submit(urecv)
         if advert is not None:
             self.queue_control(advert)
@@ -294,41 +309,89 @@ class ExsConnection:
 
     def user_close(self, eq, context) -> None:
         """Graceful close: FIN after all pending sends drain."""
+        if self.broken:
+            self._post_error(eq, context)
+            return
         self.closing = True
         self._close_eq = eq
         self._close_context = context
         self.kick()
 
     # ------------------------------------------------------------------
+    # failure propagation
+    # ------------------------------------------------------------------
+    def _post_error(self, eq, context) -> None:
+        eq.post(
+            ExsEvent(
+                kind=ExsEventType.ERROR,
+                socket=self.socket,
+                context=context,
+                error=self.error or "connection broken",
+            )
+        )
+
+    def fail_connection(self, reason: str) -> None:
+        """Transport or protocol failure: break the socket, error all ops.
+
+        Idempotent.  Every incomplete ``exs_send``/``exs_recv`` (and a
+        pending close) gets an :attr:`ExsEventType.ERROR` completion so
+        blocked applications wake instead of hanging forever.
+        """
+        if self.broken:
+            return
+        self.broken = True
+        self.error = reason
+        self.trace("conn_error", reason=reason)
+        if self.sim.tracing:
+            self.sim.trace("exs", f"conn{self.conn_id} failed: {reason}")
+        for eq, context in self.tx.fail_pending():
+            self._post_error(eq, context)
+        for eq, context in self.rx.fail_pending():
+            self._post_error(eq, context)
+        if self.closing and not self.close_event_posted and self._close_eq is not None:
+            self.close_event_posted = True
+            self._post_error(self._close_eq, self._close_context)
+        self.kick()  # wake the engine so it can exit
+
+    # ------------------------------------------------------------------
     # the progress engine
     # ------------------------------------------------------------------
     def _engine_loop(self):
-        while True:
+        while not self.broken:
             progressed = True
-            while progressed:
-                progressed = False
-                wcs = self.cq.poll()
-                for wc in wcs:
-                    yield from self._handle_wc(wc)
-                if wcs:
-                    progressed = True
-                # one copy at a time so completions interleave realistically
-                plan = self.rx.next_copy()
-                if plan is not None:
-                    yield from self.rx.execute_copy(plan)
-                    progressed = True
-                # re-advertise queued receives once the gate opens
-                for advert_msg in self.rx.flush_adverts():
-                    self.queue_control(advert_msg)
-                    progressed = True
-                sent = yield from self.tx.pump()
-                progressed = bool(sent) or progressed
-                progressed = self._pump_close() or progressed
-                ctrl = yield from self._pump_control()
-                progressed = ctrl or progressed
-                progressed = self.rx.pump_eof() or progressed
-                if self.tracer is not None:
-                    self._note_progress()
+            try:
+                while progressed and not self.broken:
+                    progressed = False
+                    wcs = self.cq.poll()
+                    for wc in wcs:
+                        yield from self._handle_wc(wc)
+                    if wcs:
+                        progressed = True
+                    if self.broken:
+                        break
+                    # one copy at a time so completions interleave realistically
+                    plan = self.rx.next_copy()
+                    if plan is not None:
+                        yield from self.rx.execute_copy(plan)
+                        progressed = True
+                    # re-advertise queued receives once the gate opens
+                    for advert_msg in self.rx.flush_adverts():
+                        self.queue_control(advert_msg)
+                        progressed = True
+                    sent = yield from self.tx.pump()
+                    progressed = bool(sent) or progressed
+                    progressed = self._pump_close() or progressed
+                    ctrl = yield from self._pump_control()
+                    progressed = ctrl or progressed
+                    progressed = self.rx.pump_eof() or progressed
+                    if self.tracer is not None:
+                        self._note_progress()
+            except (CreditError, QPStateError) as exc:
+                # The QP died under us (timer-driven teardown between engine
+                # steps) or credit accounting collapsed with it: survivable.
+                self.fail_connection(f"{type(exc).__name__}: {exc}")
+            if self.broken:
+                return
             # idle: arm and sleep (or spin, under busy_poll)
             self.cq.req_notify()
             if len(self.cq):
@@ -341,8 +404,11 @@ class ExsConnection:
 
     # -- completion dispatch ---------------------------------------------
     def _handle_wc(self, wc: WorkCompletion):
+        if self.broken:
+            return
         if not wc.ok:
-            raise RuntimeError(f"EXS connection {self.conn_id}: completion error {wc.status}")
+            self.fail_connection(f"transport error: {wc.status.value}")
+            return
         if wc.opcode is WCOpcode.RECV_RDMA_WITH_IMM:
             yield from self._handle_data_arrival(wc)
         elif wc.opcode is WCOpcode.RECV:

@@ -77,11 +77,36 @@ class ExsEventQueue:
         self.wakeup = wakeup
         self._rng = random.Random(seed)
         self.slept_wakeups = 0
+        #: completions discarded because the application stopped dequeueing
+        self.dropped = 0
+        self._overflow_reported = False
 
     def post(self, event: ExsEvent) -> None:
-        """Library side: deliver a completion."""
+        """Library side: deliver a completion.
+
+        Overflow (the application stopped dequeueing) must not crash the
+        library mid-callback: the completion is dropped and counted, and a
+        single reserved-slot ERROR event is surfaced so the application
+        learns its mailbox overflowed the next time it does dequeue.
+        """
         if len(self._store) >= self.depth:
-            raise RuntimeError("EXS event queue overflow (application not dequeueing)")
+            self.dropped += 1
+            if self.sim.tracing:
+                self.sim.trace("exs", f"event queue overflow, dropped {event.kind.value}")
+            if not self._overflow_reported:
+                # The reserved slot goes one past depth so the error itself
+                # cannot be lost to the same overflow it reports.
+                self._overflow_reported = True
+                self.delivered += 1
+                self._store.put(
+                    ExsEvent(
+                        kind=ExsEventType.ERROR,
+                        socket=event.socket,
+                        context=event.context,
+                        error="event queue overflow (application not dequeueing)",
+                    )
+                )
+            return
         self.delivered += 1
         self._store.put(event)
 

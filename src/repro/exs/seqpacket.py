@@ -59,6 +59,8 @@ class SeqPacketSenderHalf:
     def __init__(self, conn: "ExsConnection") -> None:
         self.conn = conn
         self.pending: Deque[_PendingSend] = deque()
+        #: posted to the transport but not yet acked (FIFO)
+        self.unacked: Deque[_PendingSend] = deque()
         self.adverts: Deque[Advert] = deque()
         self.fin_sent = False
         self.fin_acked = True  # seqpacket close is immediate in this model
@@ -130,10 +132,15 @@ class SeqPacketSenderHalf:
                 ))
             self.conn.tx_stats.direct_transfers += 1
             self.conn.tx_stats.direct_bytes += nbytes
+            self.unacked.append(ps)
             progressed = True
         return progressed
 
     def on_data_acked(self, ps: _PendingSend, nbytes: int) -> None:
+        try:
+            self.unacked.remove(ps)
+        except ValueError:
+            pass
         self.bytes_acked_total += nbytes
         self.last_ack_ns = self.conn.sim.now
         ps.eq.post(
@@ -145,6 +152,14 @@ class SeqPacketSenderHalf:
                 context=ps.context,
             )
         )
+
+    def fail_pending(self):
+        """Connection died: drain every incomplete send for ERROR delivery."""
+        out = [(ps.eq, ps.context) for ps in self.unacked]
+        out.extend((ps.eq, ps.context) for ps in self.pending)
+        self.unacked.clear()
+        self.pending.clear()
+        return out
 
     @property
     def final_seq(self) -> int:
@@ -222,6 +237,12 @@ class SeqPacketReceiverHalf:
 
     def flush_adverts(self):
         return []
+
+    def fail_pending(self):
+        """Connection died: drain every pending recv for ERROR delivery."""
+        out = [(pr.urecv.eq, pr.urecv.context) for pr in self.queue]
+        self.queue.clear()
+        return out
 
     def on_fin(self, final_seq: int) -> None:
         self.eof_seq = final_seq

@@ -188,6 +188,15 @@ class StreamReceiverHalf:
             progressed = True
         return progressed
 
+    def fail_pending(self):
+        """Connection died: drain every pending recv for ERROR delivery."""
+        out = []
+        while self.algo.queue:
+            entry = self.algo.queue.popleft()
+            urecv: UserRecv = entry.context
+            out.append((urecv.eq, urecv.context))
+        return out
+
     def _stream_finished(self) -> bool:
         return (
             self.eof_seq is not None

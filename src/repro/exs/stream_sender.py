@@ -62,6 +62,10 @@ class StreamSenderHalf:
         self.algo: Optional[SenderAlgorithm] = None
         #: user sends with unplanned bytes remaining (FIFO)
         self.pending: Deque[UserSend] = deque()
+        #: every submitted-but-not-fully-acked send, by id (insertion order).
+        #: `pending` drops a send once fully *planned*; this map keeps it
+        #: until fully *acked* so connection failure can error it out.
+        self._incomplete: "dict[int, UserSend]" = {}
         self._send_ids = itertools.count(1)
         #: ring base address / rkey at the peer, learnt in the EXS handshake
         self.peer_ring_addr = 0
@@ -101,6 +105,7 @@ class StreamSenderHalf:
             posted_at_ns=self.conn.sim.now,
         )
         self.pending.append(usend)
+        self._incomplete[usend.send_id] = usend
         if self.conn.tracer is not None:
             # span root: one "send" per exs_send, in submit (= stream) order
             self.conn.trace("send", send_id=usend.send_id, nbytes=nbytes)
@@ -233,6 +238,8 @@ class StreamSenderHalf:
         usend.acked += nbytes
         self.bytes_acked_total += nbytes
         self.last_ack_ns = self.conn.sim.now
+        if usend.acked == usend.nbytes:
+            self._incomplete.pop(usend.send_id, None)
         if usend.acked == usend.nbytes and self.conn.tracer is not None:
             self.conn.trace("send_done", send_id=usend.send_id, nbytes=usend.nbytes)
         if usend.acked == usend.nbytes and usend.notify_completion:
@@ -244,6 +251,21 @@ class StreamSenderHalf:
                     context=usend.context,
                 )
             )
+
+    def fail_pending(self):
+        """Connection died: drain every incomplete send for ERROR delivery.
+
+        Returns ``(eq, context)`` pairs in submit order.  Staged
+        (sender-copy) sends whose completion was already delivered are
+        drained but not reported — the user was told the buffer is free.
+        """
+        out = []
+        for usend in self._incomplete.values():
+            if usend.notify_completion:
+                out.append((usend.eq, usend.context))
+        self._incomplete.clear()
+        self.pending.clear()
+        return out
 
     @property
     def final_seq(self) -> int:

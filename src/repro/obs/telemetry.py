@@ -91,6 +91,14 @@ class Telemetry:
         for host in (testbed.client_host, testbed.server_host):
             tel.observe_host(host)
         tel.observe_link(testbed.link)
+        impairment = getattr(testbed, "impairment", None)
+        if impairment is not None:
+            tel.observe_impairment(impairment)
+        for label, device in (("client", getattr(testbed, "client_device", None)),
+                              ("server", getattr(testbed, "server_device", None))):
+            engine = getattr(device, "reliability", None)
+            if engine is not None:
+                tel.observe_reliability(label, engine)
         tel.sampler.start()
         return tel
 
@@ -120,6 +128,43 @@ class Telemetry:
                       "payload bytes transmitted (cumulative)")
             reg.gauge(f"{prefix}.busy_ns", lambda d=d: d.stats.busy_ns,
                       "transmitter busy time (cumulative ns)")
+
+    def observe_impairment(self, impairment) -> None:
+        """Register the fault-injection counters as pull gauges."""
+        reg = self.registry
+        reg.gauge("faults.dropped", lambda m=impairment: m.dropped_total,
+                  "data messages dropped by the impairment model")
+        reg.gauge("faults.duplicated", lambda m=impairment: m.duplicated_total,
+                  "data messages duplicated by the impairment model")
+        reg.gauge("faults.corrupted", lambda m=impairment: m.corrupted_total,
+                  "data messages corrupted by the impairment model")
+        reg.gauge("faults.down_dropped", lambda m=impairment: m.down_dropped_total,
+                  "messages lost to scheduled link outages")
+        reg.gauge("faults.acks_dropped", lambda m=impairment: m.acks_dropped_total,
+                  "out-of-band ACK/NAKs dropped")
+
+    def observe_reliability(self, label: str, engine) -> None:
+        """Register one device's RC reliability counters as pull gauges."""
+        reg = self.registry
+        stats = engine.stats
+        prefix = f"{label}.rel"
+        for field, help_text in (
+            ("retransmits", "messages retransmitted"),
+            ("timeouts", "retransmission timer expiries"),
+            ("naks_sent", "sequence-gap NAKs sent"),
+            ("naks_received", "sequence-gap NAKs received"),
+            ("rnr_naks_sent", "RNR NAKs sent"),
+            ("rnr_naks_received", "RNR NAKs received"),
+            ("duplicates_dropped", "duplicate arrivals discarded"),
+            ("gaps_detected", "out-of-order arrivals (responder)"),
+            ("corrupt_discarded", "corrupt frames discarded"),
+            ("qp_fatal", "QPs moved to ERROR after retry exhaustion"),
+            ("recoveries", "completed loss-recovery episodes"),
+            ("recovery_ns_total", "total loss-recovery latency (ns)"),
+            ("recovery_ns_max", "worst single loss-recovery latency (ns)"),
+        ):
+            reg.gauge(f"{prefix}.{field}",
+                      lambda s=stats, f=field: getattr(s, f), help_text)
 
     def register_connection(self, conn) -> None:
         """Called by :class:`~repro.exs.connection.ExsConnection` at handshake."""

@@ -11,10 +11,21 @@ it) and provides:
 * :class:`~repro.simnet.resources.Resource` / :class:`~repro.simnet.resources.Store`.
 * :class:`~repro.simnet.link.Link` — serialized full-duplex link model.
 * :class:`~repro.simnet.emulator.DelayEmulator` — Anue-style WAN delay/jitter.
+* :class:`~repro.simnet.faults.ImpairmentModel` — seeded lossy-wire faults.
 """
 
 from .emulator import DelayEmulator, gaussian_jitter, uniform_jitter
 from .events import AllOf, AnyOf, Event, Signal, Timeout
+from .faults import (
+    DUP_AND_CORRUPT,
+    HEAVY_LOSS,
+    LIGHT_LOSS,
+    Corrupted,
+    Fate,
+    FaultProfile,
+    FaultStats,
+    ImpairmentModel,
+)
 from .kernel import SimulationError, Simulator
 from .link import Link, LinkDirection, LinkStats
 from .process import Interrupt, Process
@@ -23,9 +34,17 @@ from .resources import Resource, Store
 __all__ = [
     "AllOf",
     "AnyOf",
+    "Corrupted",
+    "DUP_AND_CORRUPT",
     "DelayEmulator",
     "Event",
+    "Fate",
+    "FaultProfile",
+    "FaultStats",
+    "HEAVY_LOSS",
+    "ImpairmentModel",
     "Interrupt",
+    "LIGHT_LOSS",
     "Link",
     "LinkDirection",
     "LinkStats",

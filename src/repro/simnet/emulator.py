@@ -11,7 +11,7 @@ Jitter is sampled from a seeded RNG so runs remain reproducible.
 from __future__ import annotations
 
 import random
-from typing import Callable, Optional
+from typing import Callable, Optional, Tuple
 
 __all__ = ["DelayEmulator", "uniform_jitter", "gaussian_jitter"]
 
@@ -49,6 +49,10 @@ class DelayEmulator:
         message.
     seed:
         RNG seed for the jitter sampler.
+    per_direction_base_ns:
+        Optional ``(dir0_ns, dir1_ns)`` pair overriding *base_delay_ns*
+        per link direction.  :meth:`from_rtt` uses this to preserve an odd
+        round-trip budget exactly (one direction gets the extra nanosecond).
     """
 
     def __init__(
@@ -56,10 +60,21 @@ class DelayEmulator:
         base_delay_ns: int,
         jitter: Optional[JitterFn] = None,
         seed: int = 0,
+        per_direction_base_ns: Optional[Tuple[int, int]] = None,
     ) -> None:
         if base_delay_ns < 0:
             raise ValueError("base delay must be >= 0")
         self.base_delay_ns = int(base_delay_ns)
+        if per_direction_base_ns is None:
+            self.per_direction_base_ns: Tuple[int, int] = (
+                self.base_delay_ns,
+                self.base_delay_ns,
+            )
+        else:
+            d0, d1 = (int(per_direction_base_ns[0]), int(per_direction_base_ns[1]))
+            if d0 < 0 or d1 < 0:
+                raise ValueError("per-direction base delays must be >= 0")
+            self.per_direction_base_ns = (d0, d1)
         self.jitter = jitter
         self._rng = random.Random(seed)
         #: number of samples drawn (diagnostics)
@@ -67,11 +82,40 @@ class DelayEmulator:
 
     @classmethod
     def from_rtt(cls, rtt_ns: int, **kw: object) -> "DelayEmulator":
-        """Build an emulator adding ``rtt_ns`` of round-trip delay."""
-        return cls(rtt_ns // 2, **kw)  # type: ignore[arg-type]
+        """Build an emulator adding exactly ``rtt_ns`` of round-trip delay.
 
-    def sample_ns(self) -> int:
-        """Delay to add to the next message (base + jitter draw)."""
+        For odd ``rtt_ns`` the two directions split the budget as
+        ``(rtt // 2, rtt - rtt // 2)`` so no nanosecond is lost.
+        """
+        half = rtt_ns // 2
+        return cls(  # type: ignore[arg-type]
+            half,
+            per_direction_base_ns=(half, rtt_ns - half),
+            **kw,
+        )
+
+    @property
+    def rtt_ns(self) -> int:
+        """Total round-trip base delay contributed by the emulator."""
+        return self.per_direction_base_ns[0] + self.per_direction_base_ns[1]
+
+    def sample_ns(self, direction: Optional[int] = None) -> int:
+        """Delay to add to the next message (base + jitter draw).
+
+        *direction* selects the per-direction base delay; ``None`` uses the
+        symmetric ``base_delay_ns``.
+        """
         self.samples += 1
+        base = (
+            self.base_delay_ns
+            if direction is None
+            else self.per_direction_base_ns[direction]
+        )
         extra = self.jitter(self._rng) if self.jitter is not None else 0.0
-        return self.base_delay_ns + int(round(extra))
+        return base + int(round(extra))
+
+    def base_ns(self, direction: Optional[int] = None) -> int:
+        """Jitter-free base delay for a direction (no RNG side effects)."""
+        if direction is None:
+            return self.base_delay_ns
+        return self.per_direction_base_ns[direction]

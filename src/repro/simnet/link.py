@@ -11,6 +11,11 @@ Delivery is strictly in order per direction — the model stands in for a
 *reliable connected* RDMA transport (InfiniBand RC / RoCE), which guarantees
 ordered, lossless delivery; with jitter enabled arrivals are clamped so that
 ordering still holds, exactly as a reliability layer would enforce.
+
+An optional :class:`~repro.simnet.faults.ImpairmentModel` makes the wire
+lossy: messages may be dropped, duplicated, corrupted (delivered wrapped in
+:class:`~repro.simnet.faults.Corrupted`), or lost to a scheduled outage.
+Payloads with a truthy ``fault_exempt`` attribute bypass impairment.
 """
 
 from __future__ import annotations
@@ -19,6 +24,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from .emulator import DelayEmulator
+from .faults import Corrupted, Fate, ImpairmentModel
 from .kernel import SimulationError, Simulator
 
 __all__ = ["Link", "LinkDirection", "LinkStats"]
@@ -86,7 +92,7 @@ class LinkDirection:
         emulator = link.emulator
         prop = link.propagation_delay_ns
         if emulator is not None:
-            prop += emulator.sample_ns()
+            prop += emulator.sample_ns(self.index)
         arrival = end_tx + prop
         # Reliable transport: never deliver out of order even under jitter.
         if arrival < self._last_arrival:
@@ -97,10 +103,28 @@ class LinkDirection:
         self._wire_bytes += wire_bytes
         self._busy_ns += tx_ns
 
-        # Deliver via a lightweight calendar entry (no Event, no closure).
-        sim.call_in(arrival - now, handler, payload)
+        impairment = link.impairment
+        fate = Fate.DELIVER
+        if impairment is not None and not getattr(payload, "fault_exempt", False):
+            fate = impairment.classify(self.index, now)
+
+        # The transmitter is occupied and the arrival time is computed
+        # regardless of fate — a lost frame still burns wire time; only the
+        # delivery changes.
+        if fate is Fate.DELIVER:
+            # Deliver via a lightweight calendar entry (no Event, no closure).
+            sim.call_in(arrival - now, handler, payload)
+        elif fate is Fate.DUPLICATE:
+            sim.call_in(arrival - now, handler, payload)
+            sim.call_in(arrival - now, handler, payload)
+        elif fate is Fate.CORRUPT:
+            sim.call_in(arrival - now, handler, Corrupted(payload))
+        # DROP / DOWN: nothing is delivered.
         if sim.tracing:
-            sim.trace("link", f"dir{self.index} tx {wire_bytes}B arrive@{arrival}")
+            if fate is Fate.DELIVER:
+                sim.trace("link", f"dir{self.index} tx {wire_bytes}B arrive@{arrival}")
+            else:
+                sim.trace("link", f"dir{self.index} tx {wire_bytes}B fate={fate.value}")
         return arrival
 
     @property
@@ -126,6 +150,10 @@ class Link:
         Optional :class:`DelayEmulator` adding WAN-style delay/jitter on top
         of the base propagation delay (models the Anue hardware emulator
         used in the paper).
+    impairment:
+        Optional :class:`~repro.simnet.faults.ImpairmentModel` making the
+        wire lossy (drop/duplicate/corrupt/outage).  ``None`` keeps the
+        historical lossless behaviour, bit for bit.
     """
 
     def __init__(
@@ -136,6 +164,7 @@ class Link:
         propagation_delay_ns: int,
         per_message_overhead_ns: int = 0,
         emulator: Optional[DelayEmulator] = None,
+        impairment: Optional[ImpairmentModel] = None,
     ) -> None:
         if bandwidth_bps <= 0:
             raise SimulationError("bandwidth must be positive")
@@ -146,6 +175,7 @@ class Link:
         self.propagation_delay_ns = int(propagation_delay_ns)
         self.per_message_overhead_ns = int(per_message_overhead_ns)
         self.emulator = emulator
+        self.impairment = impairment
         #: precomputed byte-rate factor: ns of wire time per payload byte
         self.ns_per_byte = 8 * 1e9 / self.bandwidth_bps
         # Serialization delays are memoized per wire_bytes value.  The cache
@@ -177,8 +207,21 @@ class Link:
         return ns
 
     def propagation_ns(self) -> int:
-        """Propagation delay for one message (base + emulator, if any)."""
-        extra = self.emulator.sample_ns() if self.emulator is not None else 0
+        """Jitter-free propagation delay estimate (base + emulator base).
+
+        This is a *query*: it never draws from the jitter RNG, so callers
+        may estimate latency mid-run without perturbing subsequent
+        transmissions.  Use :meth:`sample_propagation_ns` to model an
+        actual traversal of the wire.
+        """
+        extra = self.emulator.base_delay_ns if self.emulator is not None else 0
+        return self.propagation_delay_ns + extra
+
+    def sample_propagation_ns(self, direction: int = 0) -> int:
+        """Propagation delay for one actual message (draws jitter, if any)."""
+        extra = (
+            self.emulator.sample_ns(direction) if self.emulator is not None else 0
+        )
         return self.propagation_delay_ns + extra
 
     def one_way_latency_ns(self, wire_bytes: int) -> int:

@@ -13,13 +13,14 @@ the starting point of every example, test, and benchmark::
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from dataclasses import replace
+from typing import Callable, Optional, Union
 
 from .bench.profiles import FDR_INFINIBAND, HardwareProfile
 from .exs import ExsStack
 from .hosts import Host
-from .simnet import DelayEmulator, Link, Simulator
-from .verbs import ConnectionManager, connect_devices
+from .simnet import DelayEmulator, FaultProfile, ImpairmentModel, Link, Simulator
+from .verbs import ConnectionManager, ReliabilityConfig, connect_devices
 from .verbs.comp_channel import uniform_wakeup
 
 __all__ = ["Testbed"]
@@ -38,7 +39,18 @@ class Testbed:
         seed: int = 0,
         jitter: Optional[Callable] = None,
         trace: Optional[Callable[[int, str, str], None]] = None,
+        faults: Optional[Union[FaultProfile, ImpairmentModel]] = None,
+        reliability: Optional[ReliabilityConfig] = None,
     ) -> None:
+        """*faults* makes the wire lossy: pass a
+        :class:`~repro.simnet.faults.FaultProfile` (an
+        :class:`~repro.simnet.faults.ImpairmentModel` is derived from the
+        testbed seed) or a fully-built model for down-windows/asymmetry.
+        *reliability* enables the RC reliability layer on both devices;
+        when *faults* is set and *reliability* is not, a config scaled to
+        the path's one-way latency is derived automatically — an impaired
+        wire without retransmission machinery loses data by design.
+        """
         self.profile = profile
         self.seed = seed
         self.sim = Simulator(trace=trace)
@@ -62,16 +74,30 @@ class Testbed:
         emulator = None
         if profile.emulator_delay_ns or jitter is not None:
             emulator = DelayEmulator(profile.emulator_delay_ns, jitter=jitter, seed=seed + 7)
+
+        if isinstance(faults, FaultProfile):
+            faults = ImpairmentModel(faults, seed=seed + 13)
+        self.impairment: Optional[ImpairmentModel] = faults
+
         self.link = Link(
             self.sim,
             bandwidth_bps=profile.link_bandwidth_bps,
             propagation_delay_ns=profile.propagation_delay_ns,
             per_message_overhead_ns=profile.per_message_overhead_ns,
             emulator=emulator,
+            impairment=self.impairment,
         )
+        if self.impairment is not None and reliability is None:
+            reliability = ReliabilityConfig.for_path(
+                profile.propagation_delay_ns + profile.emulator_delay_ns
+            )
+        self.reliability = reliability
+        device_config = profile.device
+        if reliability is not None:
+            device_config = replace(device_config, reliability=reliability)
         self.client_device, self.server_device = connect_devices(
             self.sim, self.client_host, self.server_host, self.link,
-            config_a=profile.device, config_b=profile.device,
+            config_a=device_config, config_b=device_config,
         )
         self.client = ExsStack(
             self.sim, self.client_host, self.client_device,

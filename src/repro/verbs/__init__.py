@@ -22,7 +22,8 @@ from .errors import (
 )
 from .mr import MemoryRegion, ProtectionDomain
 from .qp import QueuePair
-from .wire import HEADER_BYTES, AckMessage, CmMessage, DataMessage
+from .reliability import ReliabilityConfig, ReliabilityEngine, ReliabilityStats
+from .wire import HEADER_BYTES, AckMessage, CmMessage, DataMessage, TermMessage
 from .wr import SGE, RecvWR, SendWR
 
 __all__ = [
@@ -47,8 +48,12 @@ __all__ = [
     "RdmaDevice",
     "ReceiverNotReady",
     "RecvWR",
+    "ReliabilityConfig",
+    "ReliabilityEngine",
+    "ReliabilityStats",
     "RemoteAccessError",
     "SGE",
+    "TermMessage",
     "SendFlags",
     "SendWR",
     "VerbsError",

@@ -27,6 +27,7 @@ from typing import Deque, Dict, Optional, Set
 from ..hosts.host import Host
 from ..hosts.memory import Chunk
 from ..simnet import Signal, Simulator
+from ..simnet.faults import Corrupted
 from ..simnet.link import Link, LinkDirection
 from .comp_channel import CompletionChannel, WakeupSampler
 from .cq import CompletionQueue, WorkCompletion
@@ -34,7 +35,8 @@ from .enums import Access, Opcode, QPState, WCOpcode, WCStatus
 from .errors import BadWorkRequest, ReceiverNotReady, RemoteAccessError, VerbsError
 from .mr import ProtectionDomain
 from .qp import QueuePair
-from .wire import AckMessage, CmMessage, DataMessage, HEADER_BYTES
+from .reliability import ACCEPT, DUPLICATE, ReliabilityConfig, ReliabilityEngine
+from .wire import AckMessage, CmMessage, DataMessage, HEADER_BYTES, TermMessage
 
 __all__ = ["DeviceConfig", "RdmaDevice", "connect_devices"]
 
@@ -57,6 +59,10 @@ class DeviceConfig:
     large_msg_extra_ns_per_byte: float = 0.0
     #: maximum RC message size
     max_msg_bytes: int = 1 << 31
+    #: enable the RC reliability layer (retransmission / NAK / RNR / QP
+    #: error teardown).  ``None`` keeps the historical lossless-wire model,
+    #: whose event sequence is bit-identical to pre-reliability builds.
+    reliability: Optional[ReliabilityConfig] = None
 
 
 class RdmaDevice:
@@ -92,9 +98,18 @@ class RdmaDevice:
         # per-peer-QP cumulative consumed message counters (for ACKs)
         self._consumed_msn: Dict[int, int] = {}
 
+        # RC reliability machinery (None = historical lossless-wire model)
+        self.reliability: Optional[ReliabilityEngine] = (
+            ReliabilityEngine(self, self.config.reliability)
+            if self.config.reliability is not None
+            else None
+        )
+
         # diagnostics
         self.data_messages_sent = 0
         self.acks_sent = 0
+        self.acks_lost = 0
+        self.terms_sent = 0
 
     # ------------------------------------------------------------------
     # resource creation
@@ -192,7 +207,10 @@ class RdmaDevice:
         wire = HEADER_BYTES if wr.opcode is Opcode.RDMA_READ else msg.wire_bytes()
         # The large-message penalty (HCA/LLC caching effect) slows the data
         # stream itself, so it occupies the wire rather than the WQE pipeline.
-        self.tx.transmit(msg, wire, extra_tx_ns=self._large_msg_penalty_ns(msg.payload_bytes))
+        extra_tx = self._large_msg_penalty_ns(msg.payload_bytes)
+        self.tx.transmit(msg, wire, extra_tx_ns=extra_tx)
+        if self.reliability is not None:
+            self.reliability.on_transmit(qp, wr, msg, wire, extra_tx)
 
     # ------------------------------------------------------------------
     # arrival path
@@ -202,12 +220,27 @@ class RdmaDevice:
             self._on_data(msg)
         elif isinstance(msg, AckMessage):
             self._on_ack(msg)
+        elif isinstance(msg, Corrupted):
+            self._on_corrupt(msg)
+        elif isinstance(msg, TermMessage):
+            self._on_term(msg)
         elif isinstance(msg, CmMessage):
             if self.cm_handler is None:
                 raise VerbsError(f"CM message {msg.kind!r} arrived with no CM listener")
             self.cm_handler(msg)
         else:  # pragma: no cover - defensive
             raise VerbsError(f"unknown wire message {msg!r}")
+
+    def _on_corrupt(self, wrapped: Corrupted) -> None:
+        """A frame failed its CRC: discard silently, like a real port.
+
+        Recovery (if any) is the sender's problem — its retransmission
+        timer or a NAK for the resulting gap brings the data back.
+        """
+        if self.reliability is not None:
+            self.reliability.stats.corrupt_discarded += 1
+        if self.sim.tracing:
+            self.sim.trace("rel", f"hca{self.device_id} discarded corrupt frame")
 
     def _on_data(self, msg: DataMessage) -> None:
         if msg.is_read_response:
@@ -216,6 +249,28 @@ class RdmaDevice:
         qp = self._qps.get(msg.dst_qpn)
         if qp is None:
             raise VerbsError(f"message for unknown QP {msg.dst_qpn}")
+        rel = self.reliability
+        if rel is not None:
+            if qp.state is QPState.ERROR:
+                return  # arrivals on a dead QP are silently dropped
+            verdict = rel.check_incoming(qp, msg)
+            if verdict is not ACCEPT:
+                if verdict is DUPLICATE:
+                    rel.stats.duplicates_dropped += 1
+                    if msg.opcode is Opcode.RDMA_READ:
+                        # Re-serve: the retransmitted response re-completes
+                        # the requester's still-waiting READ.
+                        self._serve_read(msg)
+                    else:
+                        # Re-ACK so a sender whose ACK was lost advances.
+                        self._send_ack_message(qp)
+                else:  # FUTURE: sequence gap
+                    rel.send_nak(qp)
+                return
+            if (msg.opcode in (Opcode.SEND, Opcode.RDMA_WRITE_WITH_IMM)
+                    and not qp.rq):
+                rel.send_rnr(qp)
+                return
         qp.messages_received += 1
 
         if msg.opcode is Opcode.SEND:
@@ -226,6 +281,12 @@ class RdmaDevice:
             self._place_write(msg)
             self._consume_recv(qp, msg, with_imm=True)
         elif msg.opcode is Opcode.RDMA_READ:
+            if rel is not None:
+                # The response doubles as the ACK, but the seq must still
+                # count as consumed for the responder's sequence check.
+                prev = self._consumed_msn.get(qp.qpn, -1)
+                if msg.seq > prev:
+                    self._consumed_msn[qp.qpn] = msg.seq
             self._serve_read(msg)
             return  # READ response acts as the ack
         else:  # pragma: no cover - defensive
@@ -314,9 +375,16 @@ class RdmaDevice:
         qp = self._qps.get(msg.dst_qpn)
         if qp is None:
             raise VerbsError(f"READ response for unknown QP {msg.dst_qpn}")
-        wr = qp.inflight.pop(msg.seq, None)
-        if wr is None:
-            raise VerbsError("READ response with no matching in-flight WR")
+        if self.reliability is not None:
+            if qp.state is QPState.ERROR:
+                return
+            wr = self.reliability.on_read_response(qp, msg.seq)
+            if wr is None:
+                return  # duplicate response (request was retransmitted)
+        else:
+            wr = qp.inflight.pop(msg.seq, None)
+            if wr is None:
+                raise VerbsError("READ response with no matching in-flight WR")
         if wr.sge is not None and msg.payload is not None:
             mr = self.pd.lookup_lkey(wr.sge.lkey)
             mr.require(wr.sge.addr, msg.payload.nbytes, Access.LOCAL_WRITE)
@@ -338,37 +406,99 @@ class RdmaDevice:
     # ------------------------------------------------------------------
     def _schedule_ack(self, qp: QueuePair, seq: int) -> None:
         """Return a cumulative ACK to the peer, out of band."""
-        if self.peer is None or self.link is None:
-            raise VerbsError("device has no peer for ACK delivery")
         prev = self._consumed_msn.get(qp.qpn, -1)
         if seq > prev:
             self._consumed_msn[qp.qpn] = seq
-        msn = self._consumed_msn[qp.qpn]
-        ack = AckMessage(dst_qpn=qp.remote_qpn, msn=msn)
-        delay = self.config.ack_turnaround_ns + self.link.propagation_ns()
+        self._send_ack_message(qp)
+
+    def _send_ack_message(self, qp: QueuePair, kind: str = "ack") -> None:
+        """Send an ACK/NAK/RNR carrying the cumulative consumed msn.
+
+        ACKs travel out of band (tiny coalesced link-layer packets), so
+        impairment applies only drop/outage to them — checked *before* the
+        jitter draw so a lost ACK consumes no jitter sample.
+        """
+        if self.peer is None or self.link is None:
+            raise VerbsError("device has no peer for ACK delivery")
+        msn = self._consumed_msn.get(qp.qpn, -1)
+        impairment = self.link.impairment
+        if impairment is not None and impairment.ack_lost(self.endpoint, self.sim._now):
+            self.acks_lost += 1
+            if self.sim.tracing:
+                self.sim.trace("rel", f"hca{self.device_id} {kind} msn={msn} lost")
+            return
+        ack = AckMessage(dst_qpn=qp.remote_qpn, msn=msn, kind=kind)
+        delay = self.config.ack_turnaround_ns + self.link.sample_propagation_ns(self.endpoint)
         self.sim.call_in(delay, self.peer._on_ack, ack)
         self.acks_sent += 1
+
+    _ACK_WC_OPCODE = {
+        Opcode.SEND: WCOpcode.SEND,
+        Opcode.RDMA_WRITE: WCOpcode.RDMA_WRITE,
+        Opcode.RDMA_WRITE_WITH_IMM: WCOpcode.RDMA_WRITE,
+    }
 
     def _on_ack(self, ack: AckMessage) -> None:
         qp = self._qps.get(ack.dst_qpn)
         if qp is None:
             raise VerbsError(f"ACK for unknown QP {ack.dst_qpn}")
-        for wr in qp.ack_up_to(ack.msn):
-            wc_opcode = {
-                Opcode.SEND: WCOpcode.SEND,
-                Opcode.RDMA_WRITE: WCOpcode.RDMA_WRITE,
-                Opcode.RDMA_WRITE_WITH_IMM: WCOpcode.RDMA_WRITE,
-            }[wr.opcode]
+        rel = self.reliability
+        if rel is None:
+            done = qp.ack_up_to(ack.msn)
+        else:
+            if qp.state is QPState.ERROR:
+                return
+            if ack.kind == "nak":
+                done = rel.on_nak(qp, ack.msn)
+            elif ack.kind == "rnr":
+                done = rel.on_rnr(qp, ack.msn)
+            else:
+                done = rel.on_ack(qp, ack.msn)
+        for wr in done:
             qp.send_cq.push(
                 WorkCompletion(
                     wr_id=wr.wr_id,
-                    opcode=wc_opcode,
+                    opcode=self._ACK_WC_OPCODE[wr.opcode],
                     status=WCStatus.SUCCESS,
                     byte_len=wr.length,
                     qp_num=qp.qpn,
                     context=wr.context,
                 )
             )
+
+    # ------------------------------------------------------------------
+    # fatal-error teardown (reliability layer)
+    # ------------------------------------------------------------------
+    def _qp_fatal(self, qp: QueuePair, status: WCStatus, pending: list) -> None:
+        """Retries exhausted: error the QP, flush completions, tell the peer.
+
+        *pending* is the unacked window in transmission order; its head
+        carries *status* (the root cause), everything else flushes.  The
+        terminate notification rides the fault-exempt CM-level path so the
+        peer learns of the death even on a dead wire.
+        """
+        if qp.state is QPState.ERROR:
+            return
+        qp.to_error()
+        if self.sim.tracing:
+            self.sim.trace("rel", f"qp{qp.qpn} fatal {status.value}")
+        qp.flush(status, pending)
+        if self.tx is not None and qp.remote_qpn is not None:
+            term = TermMessage(dst_qpn=qp.remote_qpn, reason=status.value)
+            self.tx.transmit(term, term.wire_bytes())
+            self.terms_sent += 1
+
+    def _on_term(self, msg: TermMessage) -> None:
+        """Peer QP died: mirror the error locally and flush our queues."""
+        qp = self._qps.get(msg.dst_qpn)
+        if qp is None or qp.state is QPState.ERROR:
+            return
+        qp.to_error()
+        if self.sim.tracing:
+            self.sim.trace("rel", f"qp{qp.qpn} peer terminated ({msg.reason})")
+        pending = (self.reliability.peer_terminated(qp)
+                   if self.reliability is not None else list(qp.inflight.values()))
+        qp.flush(WCStatus.WR_FLUSH_ERR, pending)
 
     # ------------------------------------------------------------------
     # CM transmission helper (used by repro.verbs.cm)

@@ -33,6 +33,7 @@ class WCStatus(enum.Enum):
     SUCCESS = "success"
     LOC_LEN_ERR = "local_length_error"
     REM_ACCESS_ERR = "remote_access_error"
+    RETRY_EXC_ERR = "retry_exceeded"
     RNR_RETRY_EXC_ERR = "rnr_retry_exceeded"
     WR_FLUSH_ERR = "flushed"
 

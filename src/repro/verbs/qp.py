@@ -5,8 +5,8 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING, Deque, Dict, Optional
 
-from .cq import CompletionQueue
-from .enums import Opcode, QPState, SendFlags
+from .cq import CompletionQueue, WorkCompletion
+from .enums import Opcode, QPState, SendFlags, WCOpcode, WCStatus
 from .errors import BadWorkRequest, QPStateError
 from .wr import RecvWR, SendWR
 
@@ -64,6 +64,70 @@ class QueuePair:
 
     def to_error(self) -> None:
         self.state = QPState.ERROR
+
+    _FLUSH_OPCODE = {
+        Opcode.SEND: WCOpcode.SEND,
+        Opcode.RDMA_WRITE: WCOpcode.RDMA_WRITE,
+        Opcode.RDMA_WRITE_WITH_IMM: WCOpcode.RDMA_WRITE,
+        Opcode.RDMA_READ: WCOpcode.RDMA_READ,
+    }
+
+    def flush(self, first_status: WCStatus, pending: Optional[list] = None) -> int:
+        """Error-complete every outstanding WR (QP must already be in ERROR).
+
+        *pending* is the reliability layer's unacked-WR list in transmission
+        order; the first entry carries *first_status* (the root cause, e.g.
+        RETRY_EXC_ERR) and everything after it — remaining unacked sends,
+        queued SQ entries, posted RECVs — flushes with WR_FLUSH_ERR, exactly
+        like a real QP draining after the fatal completion.  Returns the
+        number of completions generated.
+        """
+        if self.state is not QPState.ERROR:
+            raise QPStateError(f"flush on QP {self.qpn} in state {self.state}")
+        flushed = 0
+        status = first_status
+        for wr in pending or ():
+            self.send_cq.push(
+                WorkCompletion(
+                    wr_id=wr.wr_id,
+                    opcode=self._FLUSH_OPCODE[wr.opcode],
+                    status=status,
+                    byte_len=wr.length,
+                    qp_num=self.qpn,
+                    context=wr.context,
+                )
+            )
+            status = WCStatus.WR_FLUSH_ERR
+            flushed += 1
+        self.inflight.clear()
+        while self.sq:
+            wr = self.sq.popleft()
+            self.send_cq.push(
+                WorkCompletion(
+                    wr_id=wr.wr_id,
+                    opcode=self._FLUSH_OPCODE[wr.opcode],
+                    status=status,
+                    byte_len=wr.length,
+                    qp_num=self.qpn,
+                    context=wr.context,
+                )
+            )
+            status = WCStatus.WR_FLUSH_ERR
+            flushed += 1
+        while self.rq:
+            rwr = self.rq.popleft()
+            self.recv_cq.push(
+                WorkCompletion(
+                    wr_id=rwr.wr_id,
+                    opcode=WCOpcode.RECV,
+                    status=WCStatus.WR_FLUSH_ERR,
+                    byte_len=0,
+                    qp_num=self.qpn,
+                    context=rwr.context,
+                )
+            )
+            flushed += 1
+        return flushed
 
     # ------------------------------------------------------------------
     def post_send(self, wr: SendWR) -> None:

@@ -1,0 +1,379 @@
+"""RC transport reliability: retransmission, NAK/RNR recovery, QP teardown.
+
+The device's base transport assumes a lossless wire, which is what RC
+hardware *presents* to verbs consumers — but only because the HCA runs
+exactly this machinery underneath: every request carries a PSN, the
+responder ACKs cumulatively and NAKs sequence gaps, and the requester
+retries on a timeout with bounded attempts (``retry_cnt`` / ``rnr_retry``
+in ``ibv_qp_attr``) before moving the QP to ERROR and flushing its work
+queues with error completions.
+
+:class:`ReliabilityEngine` implements that machinery for the simulated
+device, per QP:
+
+* **Requester side** — every transmitted message is held in an
+  insertion-ordered unacked window.  A retransmission timer (exponential
+  backoff, capped) re-sends the whole window go-back-N style when the
+  responder stays silent; ``retry_cnt`` consecutive timeouts move the QP
+  to ERROR with a ``RETRY_EXC_ERR`` completion.  NAKs trigger an immediate
+  go-back-N; RNR NAKs pause for ``rnr_timeout_ns`` then re-send, with a
+  separate ``rnr_retry`` budget.
+* **Responder side** — arrivals are sequence-checked against the expected
+  next message: duplicates are dropped (and re-ACKed so the sender can
+  advance), future messages raise a (rate-limited) NAK, and SEND/WWI
+  arrivals with an empty receive queue raise an RNR NAK instead of the
+  hard :class:`~repro.verbs.errors.ReceiverNotReady` error.
+
+Timer discipline: the engine keeps at most one live timer per QP, using a
+generation counter to invalidate superseded calendar entries (the DES
+kernel has no cancel).  The timer fires at the earliest possible deadline
+and re-arms itself against ``last_progress_ns``, so ACK arrivals never
+schedule anything — the hot path stays allocation-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from .enums import Opcode, WCStatus
+from .wire import DataMessage
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .device import RdmaDevice
+    from .qp import QueuePair
+    from .wr import SendWR
+
+__all__ = ["ReliabilityConfig", "ReliabilityStats", "ReliabilityEngine",
+           "ACCEPT", "DUPLICATE", "FUTURE"]
+
+#: verdicts from :meth:`ReliabilityEngine.check_incoming`
+ACCEPT = "accept"
+DUPLICATE = "duplicate"
+FUTURE = "future"
+
+
+@dataclass(frozen=True)
+class ReliabilityConfig:
+    """Retry/timeout knobs, mirroring ``ibv_qp_attr`` semantics."""
+
+    #: base requester timeout before the first retransmission
+    retry_timeout_ns: int = 500_000
+    #: consecutive timeouts tolerated before the QP goes to ERROR
+    retry_cnt: int = 7
+    #: RNR NAKs tolerated before the QP goes to ERROR
+    rnr_retry: int = 7
+    #: pause after an RNR NAK before re-sending
+    rnr_timeout_ns: int = 200_000
+    #: multiplicative backoff applied per consecutive timeout
+    backoff: float = 2.0
+    #: ceiling on the backed-off timeout
+    max_timeout_ns: int = 50_000_000
+
+    def __post_init__(self) -> None:
+        if self.retry_timeout_ns <= 0 or self.rnr_timeout_ns <= 0:
+            raise ValueError("timeouts must be positive")
+        if self.retry_cnt < 0 or self.rnr_retry < 0:
+            raise ValueError("retry budgets must be >= 0")
+        if self.backoff < 1.0:
+            raise ValueError("backoff must be >= 1.0")
+
+    @classmethod
+    def for_path(cls, one_way_ns: int, **kw: object) -> "ReliabilityConfig":
+        """Config scaled to a path's one-way latency.
+
+        The timeout must comfortably exceed a round trip plus serialization
+        of a large message, or a slow-but-healthy path retransmits
+        spuriously; the floor keeps short paths from sub-RTT timers.
+        """
+        rto = max(2_000_000, 8 * int(one_way_ns))
+        kw.setdefault("retry_timeout_ns", rto)  # type: ignore[arg-type]
+        kw.setdefault("max_timeout_ns", max(rto * 100, 50_000_000))  # type: ignore[arg-type]
+        return cls(**kw)  # type: ignore[arg-type]
+
+
+@dataclass
+class ReliabilityStats:
+    """Cumulative per-device reliability counters (feed the obs registry)."""
+
+    retransmits: int = 0
+    timeouts: int = 0
+    naks_sent: int = 0
+    naks_received: int = 0
+    rnr_naks_sent: int = 0
+    rnr_naks_received: int = 0
+    duplicates_dropped: int = 0
+    gaps_detected: int = 0
+    corrupt_discarded: int = 0
+    qp_fatal: int = 0
+    #: completed loss-recovery episodes and their latency
+    recoveries: int = 0
+    recovery_ns_total: int = 0
+    recovery_ns_max: int = 0
+
+
+class _SentMessage:
+    """One transmitted-but-unacked message, replayable verbatim."""
+
+    __slots__ = ("seq", "wr", "msg", "wire_bytes", "extra_tx_ns", "request_acked")
+
+    def __init__(self, seq: int, wr: "SendWR", msg: DataMessage,
+                 wire_bytes: int, extra_tx_ns: int) -> None:
+        self.seq = seq
+        self.wr = wr
+        self.msg = msg
+        self.wire_bytes = wire_bytes
+        self.extra_tx_ns = extra_tx_ns
+        #: READ only: the cumulative ACK covered the request, but the
+        #: response (which is the real completion) is still outstanding.
+        self.request_acked = False
+
+
+class _QpRel:
+    """Per-QP requester/responder reliability state."""
+
+    __slots__ = ("unacked", "attempts", "rnr_attempts", "highest_acked",
+                 "timer_gen", "timer_armed", "last_progress_ns",
+                 "recovering_since", "last_nak_for", "fatal")
+
+    def __init__(self) -> None:
+        #: seq -> _SentMessage, insertion-ordered (dict preserves order)
+        self.unacked: Dict[int, _SentMessage] = {}
+        self.attempts = 0
+        self.rnr_attempts = 0
+        self.highest_acked = -1
+        self.timer_gen = 0
+        self.timer_armed = False
+        self.last_progress_ns = 0
+        self.recovering_since: Optional[int] = None
+        #: responder: expected seq we already NAKed (rate-limits NAK storms)
+        self.last_nak_for: Optional[int] = None
+        self.fatal = False
+
+
+class ReliabilityEngine:
+    """Per-device RC reliability machinery (see module docstring)."""
+
+    def __init__(self, device: "RdmaDevice", config: ReliabilityConfig) -> None:
+        self.device = device
+        self.config = config
+        self.stats = ReliabilityStats()
+        self._qp_state: Dict[int, _QpRel] = {}
+
+    def _st(self, qp: "QueuePair") -> _QpRel:
+        st = self._qp_state.get(qp.qpn)
+        if st is None:
+            st = self._qp_state[qp.qpn] = _QpRel()
+        return st
+
+    # ------------------------------------------------------------------
+    # requester side
+    # ------------------------------------------------------------------
+    def on_transmit(self, qp: "QueuePair", wr: "SendWR", msg: DataMessage,
+                    wire_bytes: int, extra_tx_ns: int) -> None:
+        """Record a freshly transmitted message and ensure a timer covers it."""
+        st = self._st(qp)
+        st.unacked[msg.seq] = _SentMessage(msg.seq, wr, msg, wire_bytes, extra_tx_ns)
+        if not st.timer_armed:
+            st.last_progress_ns = self.device.sim.now
+            self._arm(qp, st, self._current_rto(st))
+
+    def _current_rto(self, st: _QpRel) -> int:
+        cfg = self.config
+        rto = int(cfg.retry_timeout_ns * cfg.backoff ** st.attempts)
+        return min(rto, cfg.max_timeout_ns)
+
+    def _arm(self, qp: "QueuePair", st: _QpRel, delay: int) -> None:
+        st.timer_gen += 1
+        st.timer_armed = True
+        self.device.sim.call_in(delay, self._on_timer, (qp, st.timer_gen))
+
+    def _on_timer(self, arg: Tuple["QueuePair", int]) -> None:
+        qp, gen = arg
+        st = self._st(qp)
+        if st.fatal or gen != st.timer_gen:
+            return  # superseded or dead: stale calendar entry, no-op
+        st.timer_armed = False
+        if not st.unacked:
+            return  # everything acked since arming; go quiet
+        sim = self.device.sim
+        rto = self._current_rto(st)
+        elapsed = sim.now - st.last_progress_ns
+        if elapsed < rto:
+            # Progress happened since arming: push the deadline out instead
+            # of retransmitting (ACK arrivals never touch the calendar).
+            self._arm(qp, st, rto - elapsed)
+            return
+        st.attempts += 1
+        self.stats.timeouts += 1
+        if st.attempts > self.config.retry_cnt:
+            self.fatal(qp, WCStatus.RETRY_EXC_ERR)
+            return
+        if st.recovering_since is None:
+            st.recovering_since = sim.now
+        if sim.tracing:
+            sim.trace("rel", f"qp{qp.qpn} timeout#{st.attempts} "
+                             f"retransmit {len(st.unacked)} msgs")
+        self._retransmit_window(st)
+        st.last_progress_ns = sim.now
+        self._arm(qp, st, self._current_rto(st))
+
+    def _retransmit_window(self, st: _QpRel) -> None:
+        tx = self.device.tx
+        for sm in st.unacked.values():
+            tx.transmit(sm.msg, sm.wire_bytes, extra_tx_ns=sm.extra_tx_ns)
+        self.stats.retransmits += len(st.unacked)
+
+    def _progress(self, st: _QpRel) -> None:
+        sim = self.device.sim
+        st.last_progress_ns = sim.now
+        st.attempts = 0
+        st.rnr_attempts = 0
+        if st.recovering_since is not None:
+            dt = sim.now - st.recovering_since
+            self.stats.recoveries += 1
+            self.stats.recovery_ns_total += dt
+            if dt > self.stats.recovery_ns_max:
+                self.stats.recovery_ns_max = dt
+            st.recovering_since = None
+
+    def on_ack(self, qp: "QueuePair", msn: int) -> List["SendWR"]:
+        """Cumulative ACK: complete the covered window prefix.
+
+        READ requests covered by *msn* are marked acked but stay in the
+        window until their response arrives — the response is the real
+        completion (and its loss must still be recoverable by timeout).
+        Returns the completed WRs in order.
+        """
+        st = self._st(qp)
+        done: List["SendWR"] = []
+        for seq in list(st.unacked):
+            if seq > msn:
+                break
+            sm = st.unacked[seq]
+            if sm.msg.opcode is Opcode.RDMA_READ and not sm.msg.is_read_response:
+                sm.request_acked = True
+                continue
+            del st.unacked[seq]
+            qp.inflight.pop(seq, None)
+            done.append(sm.wr)
+        if msn > st.highest_acked:
+            st.highest_acked = msn
+            self._progress(st)
+        return done
+
+    def on_read_response(self, qp: "QueuePair", seq: int) -> Optional["SendWR"]:
+        """READ response arrival; returns the WR, or ``None`` for a duplicate."""
+        st = self._st(qp)
+        sm = st.unacked.pop(seq, None)
+        if sm is None:
+            self.stats.duplicates_dropped += 1
+            return None
+        qp.inflight.pop(seq, None)
+        self._progress(st)
+        return sm.wr
+
+    def on_nak(self, qp: "QueuePair", msn: int) -> List["SendWR"]:
+        """Sequence-gap NAK: ack the prefix, then go-back-N from ``msn+1``."""
+        st = self._st(qp)
+        self.stats.naks_received += 1
+        done = self.on_ack(qp, msn)
+        if st.fatal:
+            return done
+        if st.recovering_since is None:
+            st.recovering_since = self.device.sim.now
+        if st.unacked:
+            if self.device.sim.tracing:
+                self.device.sim.trace(
+                    "rel", f"qp{qp.qpn} nak msn={msn} go-back-{len(st.unacked)}")
+            self._retransmit_window(st)
+            st.last_progress_ns = self.device.sim.now
+            if not st.timer_armed:
+                self._arm(qp, st, self._current_rto(st))
+        return done
+
+    def on_rnr(self, qp: "QueuePair", msn: int) -> List["SendWR"]:
+        """RNR NAK: ack the prefix, pause, then re-send the window."""
+        st = self._st(qp)
+        self.stats.rnr_naks_received += 1
+        done = self.on_ack(qp, msn)
+        if st.fatal:
+            return done
+        st.rnr_attempts += 1
+        if st.rnr_attempts > self.config.rnr_retry:
+            self.fatal(qp, WCStatus.RNR_RETRY_EXC_ERR)
+            return done
+        if st.recovering_since is None:
+            st.recovering_since = self.device.sim.now
+        # Supersede the retransmission timer with the RNR pause.
+        st.timer_gen += 1
+        st.timer_armed = True
+        self.device.sim.call_in(
+            self.config.rnr_timeout_ns, self._on_rnr_timer, (qp, st.timer_gen))
+        return done
+
+    def _on_rnr_timer(self, arg: Tuple["QueuePair", int]) -> None:
+        qp, gen = arg
+        st = self._st(qp)
+        if st.fatal or gen != st.timer_gen:
+            return
+        st.timer_armed = False
+        if not st.unacked:
+            return
+        self._retransmit_window(st)
+        st.last_progress_ns = self.device.sim.now
+        self._arm(qp, st, self._current_rto(st))
+
+    # ------------------------------------------------------------------
+    # responder side
+    # ------------------------------------------------------------------
+    def check_incoming(self, qp: "QueuePair", msg: DataMessage) -> str:
+        """Sequence-check an arrival: ``accept``/``duplicate``/``future``."""
+        expected = self.device._consumed_msn.get(qp.qpn, -1) + 1
+        if msg.seq == expected:
+            self._st(qp).last_nak_for = None
+            return ACCEPT
+        if msg.seq < expected:
+            return DUPLICATE
+        self.stats.gaps_detected += 1
+        return FUTURE
+
+    def send_nak(self, qp: "QueuePair") -> None:
+        """NAK the current gap (once per expected seq, to avoid storms)."""
+        st = self._st(qp)
+        expected = self.device._consumed_msn.get(qp.qpn, -1) + 1
+        if st.last_nak_for == expected:
+            return
+        st.last_nak_for = expected
+        self.stats.naks_sent += 1
+        self.device._send_ack_message(qp, kind="nak")
+
+    def send_rnr(self, qp: "QueuePair") -> None:
+        self.stats.rnr_naks_sent += 1
+        self.device._send_ack_message(qp, kind="rnr")
+
+    # ------------------------------------------------------------------
+    # teardown
+    # ------------------------------------------------------------------
+    def fatal(self, qp: "QueuePair", status: WCStatus) -> None:
+        """Exhausted retries: move the QP to ERROR and flush completions."""
+        st = self._st(qp)
+        if st.fatal:
+            return
+        st.fatal = True
+        st.timer_gen += 1  # invalidate any live timer
+        st.timer_armed = False
+        self.stats.qp_fatal += 1
+        pending = [sm.wr for sm in st.unacked.values()]
+        st.unacked.clear()
+        self.device._qp_fatal(qp, status, pending)
+
+    def peer_terminated(self, qp: "QueuePair") -> List["SendWR"]:
+        """Peer announced a fatal error: silence timers, drain the window."""
+        st = self._st(qp)
+        st.fatal = True
+        st.timer_gen += 1
+        st.timer_armed = False
+        pending = [sm.wr for sm in st.unacked.values()]
+        st.unacked.clear()
+        return pending

@@ -7,10 +7,12 @@ interprets the fields.  Three kinds exist:
 * :class:`DataMessage` — one RC message (SEND / RDMA WRITE / WWI / READ
   request / READ response).  Messages on a QP carry a per-QP sequence
   number (``seq``) used by cumulative acknowledgements.
-* :class:`AckMessage` — transport-level cumulative ACK.  Real IB ACKs are
-  tiny link-layer packets that coalesce; the model delivers them out of
-  band (no serialization cost) after the link's propagation delay.
+* :class:`AckMessage` — transport-level cumulative ACK (or NAK / RNR NAK).
+  Real IB ACKs are tiny link-layer packets that coalesce; the model
+  delivers them out of band (no serialization cost) after the link's
+  propagation delay.
 * :class:`CmMessage` — connection-management datagrams (REQ/REP/RTU/...).
+* :class:`TermMessage` — fatal-error notification toward the peer QP.
 """
 
 from __future__ import annotations
@@ -21,7 +23,15 @@ from typing import Any, Dict, Optional
 from ..hosts.memory import Chunk
 from .enums import Opcode
 
-__all__ = ["DataMessage", "AckMessage", "CmMessage", "HEADER_BYTES", "CM_WIRE_BYTES", "CTRL_WIRE_BYTES_GUESS"]
+__all__ = [
+    "DataMessage",
+    "AckMessage",
+    "CmMessage",
+    "TermMessage",
+    "HEADER_BYTES",
+    "CM_WIRE_BYTES",
+    "CTRL_WIRE_BYTES_GUESS",
+]
 
 #: per-message header/framing charge (BTH/RETH etc., amortised per message)
 HEADER_BYTES = 64
@@ -61,16 +71,27 @@ class DataMessage:
 
 @dataclass
 class AckMessage:
-    """Cumulative transport acknowledgement for a QP direction."""
+    """Cumulative transport acknowledgement for a QP direction.
+
+    ``kind`` distinguishes the positive cumulative ACK from the negative
+    acknowledgements the reliability layer uses: ``"nak"`` (sequence gap
+    detected — go back to ``msn + 1``) and ``"rnr"`` (receiver not ready —
+    back off, then resend from ``msn + 1``).
+    """
 
     dst_qpn: int
     #: highest message sequence number consumed at the responder
     msn: int
+    kind: str = "ack"  # "ack" | "nak" | "rnr"
 
 
 @dataclass
 class CmMessage:
     """Connection-management datagram."""
+
+    # CM datagrams ride the separately-protected management path (MAD-level
+    # retries), which the model collapses into reliable delivery.
+    fault_exempt = True
 
     kind: str  # "req" | "rep" | "rtu" | "rej" | "disconnect"
     port: int
@@ -80,3 +101,21 @@ class CmMessage:
 
     def wire_bytes(self) -> int:
         return CM_WIRE_BYTES
+
+
+@dataclass
+class TermMessage:
+    """Notification that the sending QP entered a fatal error state.
+
+    Models the CM-level disconnect/terminate detection a real stack gets
+    from DREQ or QP-event hardware paths, so it is exempt from wire faults
+    — a dying endpoint must be able to tell its peer even on a bad wire.
+    """
+
+    fault_exempt = True
+
+    dst_qpn: int
+    reason: str = ""
+
+    def wire_bytes(self) -> int:
+        return HEADER_BYTES

@@ -49,6 +49,46 @@ def test_local_grant_bookkeeping():
     assert cm.ungranted() == 0
 
 
+def test_stale_grants_reordered_on_a_lossy_wire():
+    """Cumulative grants are idempotent under any delivery order: a late or
+    duplicated (retransmitted) grant can never roll availability back."""
+    cm = CreditManager(initial_remote=6, control_reserve=1)
+    cm.consume(4)
+    assert cm.on_peer_grant(5)
+    avail = cm.available
+    # replays and reorderings of older grants, as go-back-N produces
+    for stale in (5, 3, 1, 5, 0):
+        assert not cm.on_peer_grant(stale)
+        assert cm.available == avail
+    assert cm.on_peer_grant(6)
+    assert cm.available == avail + 1
+
+
+def test_consume_beyond_available_after_grants():
+    """The over-consume guard holds against the granted total, not just the
+    initial pool."""
+    cm = CreditManager(initial_remote=4, control_reserve=1)
+    cm.on_peer_grant(2)
+    cm.consume(6)
+    assert cm.available == 0
+    with pytest.raises(CreditError, match="consuming 1"):
+        cm.consume(1)
+
+
+def test_ungranted_tracks_interleaved_repost_and_grant():
+    cm = CreditManager(initial_remote=8)
+    cm.on_local_repost(3)
+    assert cm.grant_now() == 3
+    cm.on_local_repost(2)
+    assert cm.ungranted() == 2
+    cm.on_local_repost()
+    assert cm.ungranted() == 3
+    assert cm.grant_now() == 6
+    assert cm.ungranted() == 0
+    # grant_now with nothing new keeps the cumulative value stable
+    assert cm.grant_now() == 6
+
+
 # -- integration: tiny credit pool must not deadlock -------------------------
 @pytest.mark.parametrize("credits", [8, 16])
 def test_stream_completes_with_tiny_credit_pool(credits):

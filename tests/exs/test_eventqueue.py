@@ -1,7 +1,5 @@
 """EXS event queues: ordering, wake-up latency, overflow."""
 
-import pytest
-
 from helpers import run_procs
 from repro.exs.eventqueue import ExsEvent, ExsEventQueue, ExsEventType
 from repro.verbs.comp_channel import fixed_wakeup
@@ -61,12 +59,33 @@ def test_try_dequeue(sim):
     assert eq.try_dequeue().nbytes == 5
 
 
-def test_overflow_guard(sim):
+def test_overflow_surfaces_error_event(sim):
+    """Overflow must not crash the library mid-callback: the completion is
+    dropped (and counted) and one reserved-slot ERROR event is queued."""
     eq = ExsEventQueue(sim, depth=2)
     eq.post(ev(1))
     eq.post(ev(2))
-    with pytest.raises(RuntimeError, match="overflow"):
-        eq.post(ev(3))
+    eq.post(ev(3))  # dropped; queues the ERROR event
+    eq.post(ev(4))  # dropped; ERROR already reported
+    assert eq.dropped == 2
+    assert eq.try_dequeue().nbytes == 1
+    assert eq.try_dequeue().nbytes == 2
+    err = eq.try_dequeue()
+    assert err.kind is ExsEventType.ERROR
+    assert not err.ok
+    assert "overflow" in err.error
+    assert eq.try_dequeue() is None
+
+
+def test_overflow_error_event_not_lost_when_full(sim):
+    """The ERROR event uses a reserved slot, so a persistently full queue
+    still surfaces exactly one overflow notification."""
+    eq = ExsEventQueue(sim, depth=1)
+    eq.post(ev(1))
+    for i in range(5):
+        eq.post(ev(10 + i))
+    assert eq.dropped == 5
+    assert len(eq) == 2  # the original event + the reserved-slot error
 
 
 def test_delivered_counter(sim):

@@ -36,3 +36,30 @@ def test_different_seeds_differ():
     a = DelayEmulator(0, jitter=uniform_jitter(1000), seed=1)
     b = DelayEmulator(0, jitter=uniform_jitter(1000), seed=2)
     assert [a.sample_ns() for _ in range(20)] != [b.sample_ns() for _ in range(20)]
+
+
+def test_from_rtt_preserves_even_budget():
+    em = DelayEmulator.from_rtt(48_000_000)
+    assert em.rtt_ns == 48_000_000
+    assert em.sample_ns(0) + em.sample_ns(1) == 48_000_000
+
+
+def test_from_rtt_odd_budget_loses_no_nanosecond():
+    """Regression: an odd RTT used to lose 1 ns to integer halving; the
+    per-direction split must hand the spare nanosecond to one direction."""
+    em = DelayEmulator.from_rtt(99)
+    assert em.per_direction_base_ns == (49, 50)
+    assert em.rtt_ns == 99
+    assert em.sample_ns(0) + em.sample_ns(1) == 99
+    assert em.base_ns(0) + em.base_ns(1) == 99
+
+
+def test_base_ns_draws_no_jitter():
+    """base_ns is a pure query: no RNG side effects, no sample count."""
+    em = DelayEmulator(1000, jitter=uniform_jitter(500), seed=3)
+    ref = DelayEmulator(1000, jitter=uniform_jitter(500), seed=3)
+    for _ in range(10):
+        assert em.base_ns() == 1000
+        assert em.base_ns(1) == 1000
+    assert em.samples == 0
+    assert [em.sample_ns() for _ in range(50)] == [ref.sample_ns() for _ in range(50)]

@@ -1,0 +1,125 @@
+"""Impairment model: seeded fault streams, outage windows, link integration."""
+
+import pytest
+
+from repro.simnet import (
+    Corrupted,
+    Fate,
+    FaultProfile,
+    ImpairmentModel,
+    Link,
+)
+
+
+def test_profile_validates_probabilities():
+    with pytest.raises(ValueError):
+        FaultProfile(drop_prob=1.5)
+    with pytest.raises(ValueError):
+        FaultProfile(corrupt_prob=-0.1)
+    assert not FaultProfile().impaired
+    assert FaultProfile(duplicate_prob=0.1).impaired
+
+
+def test_zero_probabilities_draw_nothing():
+    """All-zero profiles must consume no RNG state, so adding an idle
+    impairment model cannot perturb a simulation."""
+    m = ImpairmentModel(FaultProfile(), seed=5)
+    state = m._dirs[0].rng.getstate()
+    for t in range(100):
+        assert m.classify(0, t) is Fate.DELIVER
+        assert not m.ack_lost(0, t)
+    assert m._dirs[0].rng.getstate() == state
+
+
+def test_fault_sequence_is_deterministic_per_seed():
+    def fates(seed):
+        m = ImpairmentModel(FaultProfile(drop_prob=0.3, duplicate_prob=0.2,
+                                         corrupt_prob=0.1), seed=seed)
+        return [m.classify(0, t) for t in range(200)]
+
+    assert fates(1) == fates(1)
+    assert fates(1) != fates(2)
+
+
+def test_directions_have_independent_streams():
+    m = ImpairmentModel(FaultProfile(drop_prob=0.5), seed=3)
+    a = [m.classify(0, t) for t in range(100)]
+    # draining direction 1 must not change what direction 0 would have drawn
+    m2 = ImpairmentModel(FaultProfile(drop_prob=0.5), seed=3)
+    _ = [m2.classify(1, t) for t in range(100)]
+    b = [m2.classify(0, t) for t in range(100)]
+    assert a == b
+
+
+def test_asymmetric_profiles():
+    m = ImpairmentModel(FaultProfile(drop_prob=1.0), FaultProfile(), seed=1)
+    assert m.classify(0, 0) is Fate.DROP
+    assert m.classify(1, 0) is Fate.DELIVER
+    assert m.stats(0).dropped == 1
+    assert m.stats(1).dropped == 0
+
+
+def test_down_windows_kill_everything_without_rng_draws():
+    m = ImpairmentModel(FaultProfile(drop_prob=0.5), seed=2,
+                        down_windows=((100, 200),))
+    state = m._dirs[0].rng.getstate()
+    assert m.classify(0, 150) is Fate.DOWN
+    assert m.ack_lost(0, 150)
+    assert m._dirs[0].rng.getstate() == state  # outage decisions draw nothing
+    assert m.link_down(100) and not m.link_down(200)  # half-open interval
+    assert m.down_dropped_total == 1 and m.acks_dropped_total == 1
+
+
+def test_bad_down_window_rejected():
+    with pytest.raises(ValueError):
+        ImpairmentModel(down_windows=((200, 100),))
+
+
+def test_link_delivers_corrupted_wrapper_and_drops(sim):
+    link = Link(sim, bandwidth_bps=8e9, propagation_delay_ns=100,
+                per_message_overhead_ns=0,
+                impairment=ImpairmentModel(FaultProfile(corrupt_prob=1.0)))
+    got = []
+    tx = link.attach(0, lambda p: None)
+    link.attach(1, got.append)
+    tx.transmit("payload", 10)
+    sim.run()
+    assert len(got) == 1
+    assert isinstance(got[0], Corrupted)
+    assert got[0].payload == "payload"
+
+
+def test_link_duplicates_arrive_in_order_same_instant(sim):
+    link = Link(sim, bandwidth_bps=8e9, propagation_delay_ns=100,
+                per_message_overhead_ns=0,
+                impairment=ImpairmentModel(FaultProfile(duplicate_prob=1.0)))
+    got = []
+    tx = link.attach(0, lambda p: None)
+    link.attach(1, lambda p: got.append((sim.now, p)))
+    tx.transmit("m", 10)
+    sim.run()
+    assert got == [(110, "m"), (110, "m")]
+
+
+def test_fault_exempt_payloads_bypass_impairment(sim):
+    class ExemptMsg:
+        fault_exempt = True
+
+    link = Link(sim, bandwidth_bps=8e9, propagation_delay_ns=100,
+                per_message_overhead_ns=0,
+                impairment=ImpairmentModel(FaultProfile(drop_prob=1.0)))
+    got = []
+    tx = link.attach(0, lambda p: None)
+    link.attach(1, got.append)
+    msg = ExemptMsg()
+    tx.transmit(msg, 10)
+    tx.transmit("droppable", 10)
+    sim.run()
+    assert got == [msg]
+
+
+def test_set_profile_swaps_mid_run():
+    m = ImpairmentModel(FaultProfile(drop_prob=1.0), seed=4)
+    assert m.classify(0, 0) is Fate.DROP
+    m.set_profile(0, FaultProfile())
+    assert m.classify(0, 1) is Fate.DELIVER

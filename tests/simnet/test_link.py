@@ -135,3 +135,39 @@ def test_emulator_from_rtt():
 def test_emulator_rejects_negative_delay():
     with pytest.raises(ValueError):
         DelayEmulator(-1)
+
+
+def test_propagation_query_does_not_perturb_jitter(sim):
+    """Regression: ``propagation_ns()`` used to draw a jitter sample, so a
+    mid-run latency *query* changed later arrival times.  It must now be a
+    pure function of the link configuration."""
+    from repro.simnet import Simulator
+
+    def run(query_between):
+        s = Simulator()
+        em = DelayEmulator(1000, jitter=uniform_jitter(50_000), seed=9)
+        link = Link(s, bandwidth_bps=8e9, propagation_delay_ns=100,
+                    per_message_overhead_ns=10, emulator=em)
+        got = []
+        tx = link.attach(0, lambda p: None)
+        link.attach(1, lambda p: got.append(s.now))
+        tx.transmit("a", 100)
+        if query_between:
+            for _ in range(5):
+                link.propagation_ns()
+        tx.transmit("b", 100)
+        s.run()
+        return got
+
+    assert run(query_between=True) == run(query_between=False)
+
+
+def test_propagation_ns_is_jitter_free_but_sample_draws(sim):
+    em = DelayEmulator(1000, jitter=uniform_jitter(50_000), seed=9)
+    link = make_link(sim, emulator=em)
+    assert link.propagation_ns() == link.propagation_ns() == 100 + 1000
+    assert em.samples == 0
+    draws = {link.sample_propagation_ns(0) for _ in range(20)}
+    assert em.samples == 20
+    assert len(draws) > 1  # jitter actually applied
+    assert all(d >= 100 + 1000 for d in draws)
