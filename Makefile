@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test bench bench-smoke bench-paper figures examples obs-smoke chaos-smoke all
+.PHONY: install test bench bench-smoke bench-paper figures examples obs-smoke chaos-smoke check-smoke all
 
 install:
 	pip install -e . || python setup.py develop
@@ -30,6 +30,15 @@ obs-smoke:
 # byte-exact (or fail loudly), with a reduced sweep for CI turnaround.
 chaos-smoke:
 	REPRO_CHAOS_QUALITY=smoke pytest tests/chaos -q
+
+# Correctness gate (< 60 s): exhaust the default small scope in the model
+# checker, then fuzz 50 schedule seeds through the full stack.  Violations
+# leave a shrunk, replayable counterexample JSON behind for CI upload.
+check-smoke:
+	python -m repro.check explore --json counterexample-explore.json
+	python -m repro.check explore --sends 3,2 --recvs 4w,1 \
+		--json counterexample-explore-waitall.json
+	python -m repro.check fuzz --seeds 50 --json counterexample-fuzz.json
 
 figures:
 	python -m repro.bench

@@ -15,7 +15,7 @@ connection:
 Run:  python examples/adaptive_switching.py
 """
 
-from repro import BlastConfig, ProtocolMode
+from repro import BlastConfig, ProtocolMode, ScenarioConfig
 from repro.apps import KIB, MIB, FixedSizes, PhasedSizes, run_blast
 
 PHASES = [
@@ -36,7 +36,7 @@ def main() -> None:
         recv_buffer_bytes=1 * MIB,
         mode=ProtocolMode.DYNAMIC,
     )
-    r = run_blast(cfg, seed=5)
+    r = run_blast(cfg, scenario=ScenarioConfig(seed=5))
     tx = r.tx_stats
 
     print("three-phase workload over one connection "

@@ -11,7 +11,7 @@ paper's Fig. 13 makes.
 Run:  python examples/file_transfer_wan.py
 """
 
-from repro import BlastConfig, ExsSocketOptions, FixedSizes, ProtocolMode, ROCE_10G_WAN
+from repro import BlastConfig, ExsSocketOptions, FixedSizes, ProtocolMode, ScenarioConfig
 from repro.apps import MIB, run_blast
 
 FILE_BYTES = 256 * MIB
@@ -35,7 +35,7 @@ def main() -> None:
             # indirect transfers can fill the pipe
             options=ExsSocketOptions(ring_capacity=64 * MIB),
         )
-        r = run_blast(cfg, ROCE_10G_WAN, seed=3)
+        r = run_blast(cfg, scenario=ScenarioConfig(profile="roce-wan", seed=3))
         secs = (r.end_ns - r.start_ns) / 1e9
         print(f"{mode.value:10s} {r.throughput_bps / 1e9:11.3f} Gb/s {secs:12.2f} s "
               f"{r.receiver_cpu * 100:11.1f} %")

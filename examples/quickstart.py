@@ -12,7 +12,7 @@ Run:  python examples/quickstart.py
 
 import os
 
-from repro import Testbed
+from repro import ScenarioConfig, Testbed
 from repro.exs import BlockingSocket
 
 PORT = 4000
@@ -33,18 +33,18 @@ def server(tb: Testbed, out: dict):
 
 def client(tb: Testbed, out: dict):
     conn = yield from BlockingSocket.connect(tb.client, PORT)
-    payload = os.urandom(sum(MESSAGE_SIZES))
-    off = 0
-    for size in MESSAGE_SIZES:
-        yield from conn.send_bytes(payload[off : off + size])
-        off += size
-    out["data"] = payload
-    out["tx_stats"] = conn.sock.tx_stats
-    yield from conn.close()
+    with conn:  # exs_close() fires automatically on exit
+        payload = os.urandom(sum(MESSAGE_SIZES))
+        off = 0
+        for size in MESSAGE_SIZES:
+            yield from conn.send_bytes(payload[off : off + size])
+            off += size
+        out["data"] = payload
+        out["tx_stats"] = conn.sock.tx_stats
 
 
 def main() -> None:
-    tb = Testbed(seed=7)
+    tb = Testbed.from_scenario(ScenarioConfig(seed=7))
     server_out, client_out = {}, {}
     tb.sim.process(server(tb, server_out), name="server")
     tb.sim.process(client(tb, client_out), name="client")

@@ -15,7 +15,7 @@ posted receive buffer.
 Run:  python examples/seqpacket_rpc.py
 """
 
-from repro import SocketType, Testbed
+from repro import ScenarioConfig, SocketType, Testbed
 from repro.exs import BlockingSocket
 
 PORT = 4100
@@ -37,19 +37,19 @@ def server(tb: Testbed, out: dict):
 
 def client(tb: Testbed, out: dict):
     conn = yield from BlockingSocket.connect(tb.client, PORT, SocketType.SOCK_SEQPACKET)
-    replies = []
-    for req in REQUESTS:
-        yield from conn.send_bytes(req)
-        # Deliberately small receive buffer for the last request: message
-        # semantics cut the reply to fit — the data-loss hazard.
-        limit = 16 if req is REQUESTS[-1] else 128
-        replies.append((req, limit, (yield from conn.recv_bytes(limit))))
-    out["replies"] = replies
-    yield from conn.close()
+    with conn:  # exs_close() fires automatically on exit
+        replies = []
+        for req in REQUESTS:
+            yield from conn.send_bytes(req)
+            # Deliberately small receive buffer for the last request: message
+            # semantics cut the reply to fit — the data-loss hazard.
+            limit = 16 if req is REQUESTS[-1] else 128
+            replies.append((req, limit, (yield from conn.recv_bytes(limit))))
+        out["replies"] = replies
 
 
 def main() -> None:
-    tb = Testbed(seed=9)
+    tb = Testbed.from_scenario(ScenarioConfig(seed=9))
     server_out, client_out = {}, {}
     tb.sim.process(server(tb, server_out), name="server")
     tb.sim.process(client(tb, client_out), name="client")

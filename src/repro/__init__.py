@@ -13,6 +13,8 @@ discrete-event simulation:
 * :mod:`repro.bench` — hardware profiles and per-figure experiment runners
 * :mod:`repro.analysis` — analytic throughput bounds
 * :mod:`repro.obs` — unified telemetry (metrics, sampler, spans, reports)
+* :mod:`repro.check` — correctness tooling (model checker, schedule
+  fuzzer, trace auditor; ``python -m repro.check``)
 
 Quick start::
 
@@ -39,6 +41,7 @@ from .bench.profiles import (
     ROCE_10G_WAN,
     HardwareProfile,
 )
+from .config import ScenarioConfig
 from .core import ProtocolMode, ProtocolStats, SafetyViolation
 from .exs import (
     BlockingSocket,
@@ -73,6 +76,7 @@ __all__ = [
     "ROCE_10G_WAN",
     "ProtocolTracer",
     "SafetyViolation",
+    "ScenarioConfig",
     "SocketType",
     "Testbed",
     "render_timeline",

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from ..bench.profiles import FDR_INFINIBAND, HardwareProfile
+from ..config import ScenarioConfig
 from ..core import ProtocolMode
 from ..exs import ExsEventType, ExsSocketOptions, MsgFlags, SocketType
 from ..testbed import Testbed
@@ -83,20 +84,16 @@ def _server_proc(tb: Testbed, cfg: EchoConfig):
     buf = stack.alloc(cfg.message_bytes, real=cfg.real_data, label="echo:srv")
     mr = yield from stack.mregister(buf)
     lsock.accept(eq)
-    ev = yield eq.dequeue()
-    if ev.kind is not ExsEventType.ACCEPT:
-        raise RuntimeError("echo server accept failed")
+    ev = (yield eq.dequeue()).expect(ExsEventType.ACCEPT)
     sock = ev.socket
     total = cfg.iterations + cfg.warmup
     for _ in range(total):
         sock.recv(buf, mr, cfg.message_bytes, eq, flags=MsgFlags.MSG_WAITALL)
-        ev = yield eq.dequeue()
-        if ev.kind is not ExsEventType.RECV or ev.nbytes != cfg.message_bytes:
+        ev = (yield eq.dequeue()).expect(ExsEventType.RECV)
+        if ev.nbytes != cfg.message_bytes:
             raise RuntimeError(f"echo server: bad recv {ev}")
         sock.send(buf, mr, cfg.message_bytes, eq)
-        ev = yield eq.dequeue()
-        if ev.kind is not ExsEventType.SEND:
-            raise RuntimeError("echo server: bad send completion")
+        (yield eq.dequeue()).expect(ExsEventType.SEND)
 
 
 def _client_proc(tb: Testbed, cfg: EchoConfig, out: dict):
@@ -107,9 +104,7 @@ def _client_proc(tb: Testbed, cfg: EchoConfig, out: dict):
     buf = stack.alloc(cfg.message_bytes, real=cfg.real_data, label="echo:cli")
     mr = yield from stack.mregister(buf)
     sock.connect(cfg.port, eq)
-    ev = yield eq.dequeue()
-    if ev.kind is not ExsEventType.CONNECT:
-        raise RuntimeError(f"echo client connect failed: {ev.error}")
+    (yield eq.dequeue()).expect(ExsEventType.CONNECT)
     rtts: List[int] = []
     total = cfg.iterations + cfg.warmup
     for i in range(total):
@@ -142,7 +137,7 @@ def run_echo(
     max_events: Optional[int] = 100_000_000,
 ) -> EchoResult:
     """Run one ping-pong session and return its latency distribution."""
-    tb = testbed or Testbed(profile, seed=seed)
+    tb = testbed or Testbed.from_scenario(ScenarioConfig(profile=profile, seed=seed))
     out: dict = {}
     ps = tb.sim.process(_server_proc(tb, config), name="echo-server")
     pc = tb.sim.process(_client_proc(tb, config, out), name="echo-client")

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from ..bench.profiles import FDR_INFINIBAND, HardwareProfile
+from ..config import ScenarioConfig
 from ..core import ProtocolMode
 from ..exs import ExsEventType, ExsSocketOptions, MsgFlags, SocketType
 from ..testbed import Testbed
@@ -122,9 +123,7 @@ def _sender_stream(tb: Testbed, cfg: FileTransferConfig, stream: int, out: dict)
         buf.fill(_pattern(offset, length))
     mr = yield from stack.mregister(buf)
     sock.connect(cfg.port_base + stream, eq)
-    ev = yield eq.dequeue()
-    if ev.kind is not ExsEventType.CONNECT:
-        raise RuntimeError(f"stream {stream} connect failed: {ev.error}")
+    (yield eq.dequeue()).expect(ExsEventType.CONNECT)
 
     chunks = [(o, min(cfg.chunk_bytes, length - o)) for o in range(0, length, cfg.chunk_bytes)]
     next_chunk = 0
@@ -136,9 +135,7 @@ def _sender_stream(tb: Testbed, cfg: FileTransferConfig, stream: int, out: dict)
             sock.send(buf, mr, n, eq, offset=off)
             next_chunk += 1
             inflight += 1
-        ev = yield eq.dequeue()
-        if ev.kind is not ExsEventType.SEND:
-            raise RuntimeError(f"stream {stream}: unexpected {ev.kind}")
+        (yield eq.dequeue()).expect(ExsEventType.SEND)
         inflight -= 1
     sock.close(eq)
     ev = yield eq.dequeue()
@@ -154,9 +151,7 @@ def _receiver_stream(tb: Testbed, cfg: FileTransferConfig, stream: int,
     eq = stack.qcreate(depth=1 << 18)
     mr = out["file_mr"]
     lsock.accept(eq)
-    ev = yield eq.dequeue()
-    if ev.kind is not ExsEventType.ACCEPT:
-        raise RuntimeError(f"stream {stream} accept failed")
+    ev = (yield eq.dequeue()).expect(ExsEventType.ACCEPT)
     sock = ev.socket
 
     # MSG_WAITALL receives: each takes exactly its chunk, so the posted
@@ -175,9 +170,7 @@ def _receiver_stream(tb: Testbed, cfg: FileTransferConfig, stream: int,
     while posted < length and posted - received < cfg.outstanding * cfg.chunk_bytes:
         post_next()
     while received < length:
-        ev = yield eq.dequeue()
-        if ev.kind is not ExsEventType.RECV:
-            raise RuntimeError(f"stream {stream}: unexpected {ev.kind}")
+        ev = (yield eq.dequeue()).expect(ExsEventType.RECV)
         if ev.eof and received + ev.nbytes < length and posted >= length:
             raise RuntimeError(f"stream {stream}: premature EOF at {received}/{length}")
         if first is None:
@@ -199,7 +192,7 @@ def run_file_transfer(
     """Run one parallel file transfer and return its measurements."""
     if config.streams < 1 or config.file_bytes < config.streams:
         raise ValueError("need at least one stream and one byte per stream")
-    tb = testbed or Testbed(profile, seed=seed)
+    tb = testbed or Testbed.from_scenario(ScenarioConfig(profile=profile, seed=seed))
     out: dict = {}
 
     # one destination "file" shared by all streams, registered once

@@ -20,6 +20,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from ..apps.blast import BlastConfig, BlastResult, run_blast
 from ..apps.metrics import MeanCI, mean_ci
+from ..config import ScenarioConfig, deprecated_signature
 from ..sweep import run_sweep
 from .profiles import FDR_INFINIBAND, HardwareProfile
 
@@ -86,9 +87,14 @@ class AggregateResult:
 
 
 def _blast_worker(unit, seed: int) -> BlastResult:
-    """Sweep worker: one simulation run.  Module-level so it pickles."""
-    cfg, profile, max_events = unit
-    return run_blast(cfg, profile, seed=seed, max_events=max_events)
+    """Sweep worker: one simulation run.  Module-level so it pickles.
+
+    The unit carries a fully-resolved :class:`~repro.config.ScenarioConfig`
+    (seed already folded in), so workers need no environment-variable side
+    channel; *seed* is the sweep bookkeeping copy of ``scenario.seed``.
+    """
+    cfg, scenario, max_events = unit
+    return run_blast(cfg, scenario=scenario, max_events=max_events)
 
 
 def _reseeded(config: BlastConfig, seed: int) -> BlastConfig:
@@ -112,12 +118,13 @@ def _aggregate(runs: List[BlastResult]) -> AggregateResult:
 
 def run_grid(
     configs: Sequence[BlastConfig],
-    profile: HardwareProfile = FDR_INFINIBAND,
+    profile: Optional[HardwareProfile] = None,
     quality: RunQuality = QUICK,
     *,
     processes: int = 1,
     max_events: Optional[int] = 400_000_000,
     telemetry_dir: Optional[str] = None,
+    scenario: Optional[ScenarioConfig] = None,
 ) -> List[AggregateResult]:
     """Run every config once per seed — optionally in parallel — and
     aggregate per config, preserving config order.
@@ -129,47 +136,60 @@ def run_grid(
     identical for any ``processes`` value (simulations are deterministic
     and self-contained).
 
-    ``telemetry_dir`` makes every unit — in this process or a sweep
-    worker — write a per-run :mod:`repro.obs` JSONL artifact into that
-    directory (created if missing).  It is exported through the
-    ``REPRO_TELEMETRY_DIR`` environment variable so it reaches forked
-    workers without widening the worker protocol; the previous value is
-    restored afterwards.
+    *scenario* is the run-environment template: each unit gets a copy with
+    that repetition's seed folded in (``replace(scenario, seed=seed)``), and
+    the copy travels inside the pickled work unit, so sweep workers need no
+    environment-variable side channel.  ``scenario.telemetry_dir`` makes
+    every unit write a per-run :mod:`repro.obs` JSONL artifact into that
+    directory (created if missing).
+
+    The legacy spelling — ``profile=`` / ``telemetry_dir=`` keywords, plus
+    the ``REPRO_TELEMETRY_DIR`` environment variable — still works as a
+    deprecation shim that assembles the scenario template internally.
     """
+    if scenario is not None:
+        if profile is not None or telemetry_dir is not None:
+            raise ValueError(
+                "pass either scenario= or the profile/telemetry_dir knobs, not both"
+            )
+    else:
+        env_dir = os.environ.get("REPRO_TELEMETRY_DIR", "").strip() or None
+        if profile is not None or telemetry_dir is not None or env_dir:
+            deprecated_signature(
+                "run_grid(profile=, telemetry_dir=) / REPRO_TELEMETRY_DIR",
+                "pass run_grid(configs, scenario=ScenarioConfig(...)) instead",
+            )
+        scenario = ScenarioConfig(
+            profile=profile if profile is not None else FDR_INFINIBAND,
+            telemetry_dir=telemetry_dir if telemetry_dir is not None else env_dir,
+        )
+    if scenario.telemetry_dir:
+        os.makedirs(scenario.telemetry_dir, exist_ok=True)
     units = []
     unit_seeds: List[int] = []
     for config in configs:
         for seed in quality.seeds:
-            units.append((_reseeded(config, seed), profile, max_events))
+            units.append((_reseeded(config, seed), replace(scenario, seed=seed), max_events))
             unit_seeds.append(seed)
-    saved = os.environ.get("REPRO_TELEMETRY_DIR")
-    if telemetry_dir is not None:
-        os.makedirs(telemetry_dir, exist_ok=True)
-        os.environ["REPRO_TELEMETRY_DIR"] = telemetry_dir
-    try:
-        results = run_sweep(units, _blast_worker, processes, seeds=unit_seeds)
-    finally:
-        if telemetry_dir is not None:
-            if saved is None:
-                os.environ.pop("REPRO_TELEMETRY_DIR", None)
-            else:
-                os.environ["REPRO_TELEMETRY_DIR"] = saved
+    results = run_sweep(units, _blast_worker, processes, seeds=unit_seeds)
     reps = len(quality.seeds)
     return [_aggregate(results[i * reps:(i + 1) * reps]) for i in range(len(configs))]
 
 
 def run_repeated(
     config: BlastConfig,
-    profile: HardwareProfile = FDR_INFINIBAND,
+    profile: Optional[HardwareProfile] = None,
     quality: RunQuality = QUICK,
     *,
     processes: int = 1,
     max_events: Optional[int] = 400_000_000,
     telemetry_dir: Optional[str] = None,
+    scenario: Optional[ScenarioConfig] = None,
 ) -> AggregateResult:
     """Run *config* once per seed and aggregate the paper's metrics."""
     return run_grid([config], profile, quality, processes=processes,
-                    max_events=max_events, telemetry_dir=telemetry_dir)[0]
+                    max_events=max_events, telemetry_dir=telemetry_dir,
+                    scenario=scenario)[0]
 
 
 def replace_seed(gen, seed: int):

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..apps.blast import BlastConfig
+from ..config import ScenarioConfig
 from ..apps.workloads import KIB, MIB, ExponentialSizes, FixedSizes
 from ..core import ProtocolMode
 from ..exs import ExsSocketOptions
@@ -113,7 +114,8 @@ def _outstanding_sweep(
         for n in xs
         for mode in PROTOCOLS
     ]
-    aggs = run_grid(grid, profile, quality, processes=processes)
+    aggs = run_grid(grid, quality=quality, processes=processes,
+                    scenario=ScenarioConfig(profile=profile))
     series: Dict[str, List[AggregateResult]] = {m.value: [] for m in PROTOCOLS}
     for i, agg in enumerate(aggs):
         series[PROTOCOLS[i % len(PROTOCOLS)].value].append(agg)
@@ -183,7 +185,8 @@ def fig11(
         for size in FIG11_SIZES
         for ns in sends
     ]
-    aggs = run_grid(grid, profile, quality, processes=processes)
+    aggs = run_grid(grid, quality=quality, processes=processes,
+                    scenario=ScenarioConfig(profile=profile))
     series: Dict[str, List[AggregateResult]] = {}
     for i, size in enumerate(FIG11_SIZES):
         series[_size_label(size)] = aggs[i * len(sends):(i + 1) * len(sends)]
@@ -214,7 +217,8 @@ def fig12(
         )
         for size in sizes
     ]
-    aggs = run_grid(grid, profile, quality, processes=processes)
+    aggs = run_grid(grid, quality=quality, processes=processes,
+                    scenario=ScenarioConfig(profile=profile))
     return FigureData(
         "fig12", "message_size", [_size_label(s) for s in sizes],
         {"dynamic": aggs},
@@ -260,7 +264,8 @@ def table3(quality: RunQuality = QUICK, profile: HardwareProfile = FDR_INFINIBAN
         )
         for nr, ns in TABLE3_CONFIGS
     ]
-    aggs = run_grid(grid, profile, quality, processes=processes)
+    aggs = run_grid(grid, quality=quality, processes=processes,
+                    scenario=ScenarioConfig(profile=profile))
     rows = []
     for (nr, ns), agg in zip(TABLE3_CONFIGS, aggs):
         rows.append((nr, ns, agg.mode_switches, agg.direct_ratio, agg))

@@ -1,0 +1,54 @@
+"""Correctness tooling: model checking, schedule fuzzing, trace auditing.
+
+Three engines share one invariant core (Theorem 1, Lemmas 1 and 4, byte
+conservation, FIFO integrity) and one counterexample format:
+
+* :func:`~repro.check.explorer.explore` — **exhaust** every event
+  interleaving of the core sender/receiver algorithms for a small scope
+  (:class:`~repro.check.model.ExploreScope`); BFS makes the first
+  violation schedule-minimal, :func:`~repro.check.explorer.shrink`
+  delta-debugs the workload too.
+* :func:`~repro.check.fuzz.run_fuzz` — **sample** full-stack Testbed runs
+  under seeded random permutations of same-instant event ordering
+  (:class:`~repro.simnet.schedule.RandomTiebreakPolicy`); deterministic
+  per seed, so the failing :class:`~repro.config.ScenarioConfig` *is* the
+  counterexample.
+* :func:`~repro.check.audit.audit_events` — **replay** recorded
+  :class:`~repro.trace.ProtocolTracer` streams (or their CSV exports) and
+  re-verify the same claims post hoc.
+
+Counterexamples serialize to JSON and re-execute via
+``python -m repro.check replay``; see ``python -m repro.check --help``.
+"""
+
+from .audit import AuditReport, AuditViolation, audit_csv, audit_events, audit_spans
+from .counterexample import Counterexample, ReplayOutcome, replay
+from .explorer import ExploreResult, explore, shrink
+from .fuzz import FuzzCase, FuzzOutcome, FuzzReport, fingerprint_result, run_case, run_fuzz
+from .model import ACTIONS, ExploreScope, ModelViolation, World
+from .mutations import MUTATIONS
+
+__all__ = [
+    "ACTIONS",
+    "AuditReport",
+    "AuditViolation",
+    "Counterexample",
+    "ExploreResult",
+    "ExploreScope",
+    "FuzzCase",
+    "FuzzOutcome",
+    "FuzzReport",
+    "MUTATIONS",
+    "ModelViolation",
+    "ReplayOutcome",
+    "World",
+    "audit_csv",
+    "audit_events",
+    "audit_spans",
+    "explore",
+    "fingerprint_result",
+    "replay",
+    "run_case",
+    "run_fuzz",
+    "shrink",
+]

@@ -1,0 +1,254 @@
+"""Post-hoc trace auditing: re-verify protocol invariants from records.
+
+The third engine closes the loop on *recorded* runs: given a
+:class:`~repro.trace.ProtocolTracer` event stream (live, or round-tripped
+through its CSV export), the auditor replays the protocol bookkeeping and
+re-checks the same claims the model checker and the live ``require`` calls
+enforce — so a telemetry artifact from any past run (including chaos runs
+under fault injection) can be audited without re-simulating it:
+
+* **stream contiguity** — each direction's transfer plans tile the byte
+  stream exactly: transfer ``i`` starts at ``sum(nbytes_0..i-1)``;
+* **phase discipline** — ``direct`` transfers carry even phases,
+  ``indirect`` transfers odd ones (Theorem 1's phase argument), and each
+  endpoint's phase trace is strictly increasing (monotonicity);
+* **Lemma 1** — every ADVERT sent or received carries a direct phase;
+* **ring ACK monotonicity** — cumulative copied-out counters never run
+  backwards;
+* **copy-range sanity** — ring copy-outs cover non-overlapping,
+  non-decreasing stream ranges;
+* **conservation** — a FIN is recorded on the *sending* direction and its
+  sequence number must equal that direction's transferred byte total; when
+  the ``conn_open`` peer mapping is present, the peer direction must have
+  delivered exactly that many bytes.
+
+:func:`audit_spans` additionally lifts :mod:`repro.obs` message spans and
+checks stage ordering and per-span byte accounting.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import IO, Dict, Iterable, List, Optional, Tuple
+
+from ..core.phase import is_direct
+from ..trace import TraceEvent, events_from_csv
+
+__all__ = ["AuditViolation", "AuditReport", "audit_events", "audit_csv", "audit_spans"]
+
+
+@dataclass(frozen=True)
+class AuditViolation:
+    """One failed re-check."""
+
+    claim: str
+    detail: str
+    time_ns: int = -1
+    conn: int = -1
+    host: str = ""
+
+    def __str__(self) -> str:
+        where = f" (conn {self.conn}@{self.host}, t={self.time_ns}ns)" if self.conn >= 0 else ""
+        return f"{self.claim}: {self.detail}{where}"
+
+
+@dataclass
+class AuditReport:
+    """Everything one audit pass established."""
+
+    events: int
+    connections: int
+    violations: List[AuditViolation] = field(default_factory=list)
+    #: per-direction transferred byte totals, keyed by (conn, host)
+    transferred: Dict[Tuple[int, str], int] = field(default_factory=dict)
+    #: per-direction delivered byte totals, keyed by (conn, host)
+    delivered: Dict[Tuple[int, str], int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def describe(self) -> str:
+        if self.ok:
+            return (
+                f"audit ok: {self.events} events, {self.connections} connection "
+                f"directions, all invariants re-verified"
+            )
+        lines = [f"audit FAILED: {len(self.violations)} violation(s) in {self.events} events"]
+        lines += [f"  - {v}" for v in self.violations]
+        return "\n".join(lines)
+
+
+def audit_events(events: Iterable[TraceEvent]) -> AuditReport:
+    """Re-verify the protocol invariants over a recorded event stream."""
+    events = sorted(events, key=lambda e: e.time_ns)
+    by_dir: Dict[Tuple[int, str], List[TraceEvent]] = defaultdict(list)
+    peers: Dict[Tuple[int, str], int] = {}
+    for e in events:
+        by_dir[(e.conn, e.host)].append(e)
+        if e.kind == "conn_open":
+            peers[(e.conn, e.host)] = e.get("peer")
+
+    report = AuditReport(events=len(events), connections=len(by_dir))
+    v = report.violations
+    fins: Dict[Tuple[int, str], int] = {}
+
+    for (conn, host), evs in sorted(by_dir.items()):
+        expected_seq = 0
+        phases: Dict[str, int] = {}
+        last_ack = -1
+        copy_edge = -1
+        delivered = 0
+        fin_seq: Optional[int] = None
+
+        def flag(claim: str, detail: str, e: TraceEvent) -> None:
+            v.append(AuditViolation(claim, detail, e.time_ns, conn, host))
+
+        for e in evs:
+            if e.kind in ("direct", "indirect"):
+                seq, nbytes, phase = e.get("seq"), e.get("nbytes"), e.get("phase")
+                if seq != expected_seq:
+                    flag(
+                        "stream contiguity",
+                        f"{e.kind} transfer at seq {seq}, expected {expected_seq}",
+                        e,
+                    )
+                    expected_seq = seq  # resynchronise to limit cascading noise
+                expected_seq += nbytes
+                if e.kind == "direct" and not is_direct(phase):
+                    flag("phase discipline", f"direct transfer in odd phase {phase}", e)
+                if e.kind == "indirect" and is_direct(phase):
+                    flag("phase discipline", f"indirect transfer in even phase {phase}", e)
+            elif e.kind == "phase":
+                side, phase = e.get("side"), e.get("phase")
+                prev = phases.get(side)
+                if prev is not None and phase <= prev:
+                    flag("phase monotonicity", f"{side} phase {prev} -> {phase}", e)
+                phases[side] = phase
+            elif e.kind in ("advert_tx", "advert_rx"):
+                phase = e.get("phase")
+                if phase is not None and not is_direct(phase):
+                    flag("Lemma 1", f"{e.kind} carries indirect phase {phase}", e)
+            elif e.kind == "ring_ack":
+                copied = e.get("copied")
+                if copied < last_ack:
+                    flag("ring ACK monotonicity", f"copied {last_ack} -> {copied}", e)
+                last_ack = max(last_ack, copied)
+            elif e.kind == "copy":
+                seq, nbytes = e.get("seq"), e.get("nbytes")
+                if seq < copy_edge:
+                    flag(
+                        "copy-range sanity",
+                        f"copy [{seq}, {seq + nbytes}) overlaps prior edge {copy_edge}",
+                        e,
+                    )
+                copy_edge = max(copy_edge, seq + nbytes)
+            elif e.kind == "deliver":
+                delivered += e.get("nbytes", 0)
+            elif e.kind == "fin":
+                fin_seq = e.get("seq")
+
+        report.transferred[(conn, host)] = expected_seq
+        report.delivered[(conn, host)] = delivered
+        if fin_seq is not None:
+            fins[(conn, host)] = fin_seq
+            if fin_seq != expected_seq:
+                v.append(
+                    AuditViolation(
+                        "conservation",
+                        f"FIN says {fin_seq} bytes but {expected_seq} were transferred",
+                        conn=conn,
+                        host=host,
+                    )
+                )
+
+    # cross-direction conservation: every byte a finished sender claimed
+    # must have been delivered by the peer direction it was sent to
+    for (conn, host), fin_seq in sorted(fins.items()):
+        peer = peers.get((conn, host))
+        if peer is None:
+            continue
+        for (rconn, rhost), got in sorted(report.delivered.items()):
+            if rconn == peer and rhost != host and got != fin_seq:
+                report.violations.append(
+                    AuditViolation(
+                        "conservation",
+                        f"sender {conn}@{host} finished at {fin_seq} bytes but "
+                        f"peer {rconn}@{rhost} delivered {got}",
+                        conn=rconn,
+                        host=rhost,
+                    )
+                )
+    return report
+
+
+def audit_csv(fh: IO[str]) -> AuditReport:
+    """Audit a :meth:`repro.trace.ProtocolTracer.to_csv` export."""
+    return audit_events(events_from_csv(fh))
+
+
+def audit_spans(events: Iterable[TraceEvent]) -> List[AuditViolation]:
+    """Lift :mod:`repro.obs` message spans from *events* and re-check them.
+
+    Only structural claims are asserted — stage ordering and byte
+    accounting; incomplete spans are flagged only when the stream finished
+    (a FIN was recorded for the span's connection pair).
+    """
+    from ..obs.spans import build_spans
+
+    events = list(events)
+    spans = build_spans(events)
+    finished_hosts = {(e.conn, e.host) for e in events if e.kind == "fin"}
+    out: List[AuditViolation] = []
+    by_conn: Dict[Tuple[int, str], int] = defaultdict(int)
+    for s in spans:
+        stages = [
+            ("submit", s.submit_ns),
+            ("first_post", s.first_post_ns),
+            ("acked", s.acked_ns),
+        ]
+        seen = [(n, t) for n, t in stages if t is not None]
+        for (n1, t1), (n2, t2) in zip(seen, seen[1:]):
+            if t2 < t1:
+                out.append(
+                    AuditViolation(
+                        "span stage order",
+                        f"send {s.send_id}: {n2} at {t2}ns before {n1} at {t1}ns",
+                        conn=s.conn,
+                        host=s.host,
+                    )
+                )
+        if s.seq_start != by_conn[(s.conn, s.host)]:
+            out.append(
+                AuditViolation(
+                    "span contiguity",
+                    f"send {s.send_id} starts at {s.seq_start}, "
+                    f"expected {by_conn[(s.conn, s.host)]}",
+                    conn=s.conn,
+                    host=s.host,
+                )
+            )
+        by_conn[(s.conn, s.host)] = s.seq_end
+        if s.complete and s.direct_bytes + s.indirect_bytes != s.nbytes:
+            out.append(
+                AuditViolation(
+                    "span byte accounting",
+                    f"send {s.send_id}: {s.direct_bytes} direct + "
+                    f"{s.indirect_bytes} indirect != {s.nbytes}",
+                    conn=s.conn,
+                    host=s.host,
+                )
+            )
+        if not s.complete and (s.conn, s.host) in finished_hosts:
+            # fin on the span's own (sending) direction means every send
+            # ran to completion — an incomplete span is a real gap
+            out.append(
+                AuditViolation(
+                    "span completeness",
+                    f"send {s.send_id} incomplete after stream finished",
+                    conn=s.conn,
+                    host=s.host,
+                )
+            )
+    return out

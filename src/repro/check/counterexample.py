@@ -1,0 +1,147 @@
+"""Serializable, replayable counterexamples.
+
+Every engine in :mod:`repro.check` reports failures the same way: a
+:class:`Counterexample` holding *everything needed to reproduce the run* —
+for the model checker, the :class:`~repro.check.model.ExploreScope` plus
+the exact schedule (a list of action names); for the fuzzer, the
+:class:`~repro.config.ScenarioConfig` (which pins the schedule-permutation
+seed) plus the workload knobs.  Both serialize to JSON, and
+``python -m repro.check replay file.json`` re-executes them bit for bit.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import IO, List, Optional, Union
+
+__all__ = ["Counterexample", "ReplayOutcome", "replay"]
+
+
+@dataclass
+class Counterexample:
+    """One reproducible failure."""
+
+    #: which engine produced it: ``model`` or ``fuzz``
+    kind: str
+    #: the safety claim that failed ("Theorem 1 (ordering)", ...)
+    claim: str
+    #: human-readable failure detail
+    detail: str
+    #: model checker: the minimal schedule (action names, in order)
+    trace: List[str] = field(default_factory=list)
+    #: model checker: the (shrunk) scope dict, including the mutation name
+    scope: Optional[dict] = None
+    #: fuzzer: the ScenarioConfig dict that produced the failure
+    scenario: Optional[dict] = None
+    #: fuzzer: the workload knobs (FuzzCase dict)
+    fuzz_case: Optional[dict] = None
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def save(self, path_or_fh: Union[str, IO[str]]) -> None:
+        if hasattr(path_or_fh, "write"):
+            path_or_fh.write(self.to_json() + "\n")
+        else:
+            with open(path_or_fh, "w") as fh:
+                fh.write(self.to_json() + "\n")
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Counterexample":
+        return cls(
+            kind=data["kind"],
+            claim=data.get("claim", ""),
+            detail=data.get("detail", ""),
+            trace=list(data.get("trace") or []),
+            scope=data.get("scope"),
+            scenario=data.get("scenario"),
+            fuzz_case=data.get("fuzz_case"),
+        )
+
+    @classmethod
+    def load(cls, path_or_fh: Union[str, IO[str]]) -> "Counterexample":
+        if hasattr(path_or_fh, "read"):
+            return cls.from_dict(json.load(path_or_fh))
+        with open(path_or_fh) as fh:
+            return cls.from_dict(json.load(fh))
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        lines = [f"{self.kind} counterexample — {self.claim}", f"  {self.detail}"]
+        if self.scope is not None:
+            lines.append(f"  scope: {self.scope}")
+        if self.trace:
+            lines.append(f"  schedule ({len(self.trace)} steps):")
+            for i, action in enumerate(self.trace, 1):
+                lines.append(f"    {i}. {action}")
+        if self.scenario is not None:
+            lines.append(f"  scenario: {self.scenario}")
+        if self.fuzz_case is not None:
+            lines.append(f"  fuzz case: {self.fuzz_case}")
+        return "\n".join(lines)
+
+
+@dataclass
+class ReplayOutcome:
+    """What happened when a counterexample was re-executed."""
+
+    reproduced: bool
+    message: str
+
+
+def replay(ce: Counterexample) -> ReplayOutcome:
+    """Re-execute *ce* and report whether the failure reproduces."""
+    if ce.kind == "model":
+        return _replay_model(ce)
+    if ce.kind == "fuzz":
+        return _replay_fuzz(ce)
+    return ReplayOutcome(False, f"unknown counterexample kind {ce.kind!r}")
+
+
+def _replay_model(ce: Counterexample) -> ReplayOutcome:
+    from .model import ExploreScope, ModelViolation, World
+
+    if ce.scope is None:
+        return ReplayOutcome(False, "model counterexample without a scope")
+    world = World(ExploreScope.from_dict(ce.scope))
+    for i, action in enumerate(ce.trace, 1):
+        if action not in world.enabled_actions():
+            return ReplayOutcome(
+                False, f"step {i}: {action} not enabled (state diverged)"
+            )
+        try:
+            world.apply(action)
+        except ModelViolation as exc:
+            if i == len(ce.trace):
+                return ReplayOutcome(True, f"reproduced at step {i}: {exc}")
+            return ReplayOutcome(
+                False, f"violated early at step {i}/{len(ce.trace)}: {exc}"
+            )
+    try:
+        if not world.enabled_actions():
+            world.check_quiescence()
+    except ModelViolation as exc:
+        return ReplayOutcome(True, f"reproduced at quiescence: {exc}")
+    return ReplayOutcome(False, "schedule ran to completion without a violation")
+
+
+def _replay_fuzz(ce: Counterexample) -> ReplayOutcome:
+    from .fuzz import FuzzCase, run_case
+
+    if ce.scenario is None:
+        return ReplayOutcome(False, "fuzz counterexample without a scenario")
+    from ..config import ScenarioConfig
+
+    scenario = ScenarioConfig.from_dict(ce.scenario)
+    case = FuzzCase.from_dict(ce.fuzz_case or {})
+    outcome = run_case(case, scenario)
+    if outcome.error is not None:
+        return ReplayOutcome(True, f"reproduced: {outcome.error}")
+    return ReplayOutcome(
+        False, f"run completed cleanly (fingerprint {outcome.fingerprint})"
+    )

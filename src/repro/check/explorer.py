@@ -1,0 +1,201 @@
+"""Explicit-state exploration of the protocol model.
+
+Breadth-first search over :class:`~repro.check.model.World` states:
+
+* every enabled action is tried from every reachable state,
+* states are deduplicated on their canonical form (the search is over the
+  quotient graph, so it terminates on the small scopes it is meant for),
+* safety is checked *during* every transition (the core algorithms'
+  ``require`` calls plus the model's conservation/FIFO invariants), and
+  quiescent states get the extra conservation-at-rest check.
+
+BFS makes the first violation found *schedule-minimal* for its scope; the
+:func:`shrink` pass then delta-debugs the scope itself (fewer sends,
+fewer receives, smaller lengths) and re-explores, so the reported
+counterexample is minimal in both the workload and the schedule.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .counterexample import Counterexample
+from .model import ExploreScope, ModelViolation, World
+
+__all__ = ["ExploreResult", "explore", "shrink"]
+
+#: states after which exploration aborts (the scope is not "small" any more)
+DEFAULT_STATE_LIMIT = 2_000_000
+
+
+@dataclass
+class ExploreResult:
+    """Outcome of one exhaustive exploration."""
+
+    scope: ExploreScope
+    states: int
+    transitions: int
+    terminal_states: int
+    max_depth: int
+    #: first (schedule-minimal) violation, or None if the scope is clean
+    violation: Optional[Counterexample] = None
+    #: True when the state limit stopped the search before exhausting it
+    truncated: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.violation is None and not self.truncated
+
+    def describe(self) -> str:
+        status = (
+            "VIOLATION"
+            if self.violation
+            else ("TRUNCATED" if self.truncated else "exhausted, no violations")
+        )
+        return (
+            f"{status}: {self.states} states, {self.transitions} transitions, "
+            f"{self.terminal_states} terminal, depth <= {self.max_depth} "
+            f"(scope sends={list(self.scope.sends)} recvs={list(self.scope.recvs)} "
+            f"ring={self.scope.ring_capacity}"
+            + (f" mutation={self.scope.mutation}" if self.scope.mutation else "")
+            + ")"
+        )
+
+
+def explore(
+    scope: ExploreScope, *, state_limit: int = DEFAULT_STATE_LIMIT
+) -> ExploreResult:
+    """Exhaust every schedule of *scope*; stop at the first violation."""
+    root = World(scope)
+    visited = {root.canonical()}
+    frontier: deque = deque([(root, ())])
+    states = 1
+    transitions = 0
+    terminal = 0
+    max_depth = 0
+
+    while frontier:
+        world, path = frontier.popleft()
+        max_depth = max(max_depth, len(path))
+        actions = world.enabled_actions()
+        if not actions:
+            terminal += 1
+            try:
+                world.check_quiescence()
+            except ModelViolation as exc:
+                return ExploreResult(
+                    scope, states, transitions, terminal, max_depth,
+                    violation=_counterexample(scope, list(path), exc),
+                )
+            continue
+        for action in actions:
+            nxt = world.clone()
+            transitions += 1
+            try:
+                nxt.apply(action)
+            except ModelViolation as exc:
+                return ExploreResult(
+                    scope, states, transitions, terminal, max_depth,
+                    violation=_counterexample(scope, list(path) + [action], exc),
+                )
+            key = nxt.canonical()
+            if key in visited:
+                continue
+            visited.add(key)
+            states += 1
+            if states > state_limit:
+                return ExploreResult(
+                    scope, states, transitions, terminal, max_depth, truncated=True
+                )
+            frontier.append((nxt, path + (action,)))
+
+    return ExploreResult(scope, states, transitions, terminal, max_depth)
+
+
+def _counterexample(
+    scope: ExploreScope, trace: List[str], exc: ModelViolation
+) -> Counterexample:
+    return Counterexample(
+        kind="model",
+        claim=exc.claim,
+        detail=exc.detail,
+        trace=trace,
+        scope=scope.to_dict(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# scope shrinking (delta debugging over the workload)
+# ---------------------------------------------------------------------------
+def _scope_weight(scope: ExploreScope, trace_len: int) -> Tuple[int, ...]:
+    return (
+        trace_len,
+        len(scope.sends) + len(scope.recvs),
+        sum(scope.sends) + sum(n for n, _ in scope.recvs),
+        scope.ring_capacity,
+    )
+
+
+def _candidates(scope: ExploreScope):
+    """Strictly-smaller scopes, one reduction at a time."""
+    sends, recvs = scope.sends, scope.recvs
+    for i in range(len(sends)):
+        if len(sends) > 1:
+            yield ExploreScope(
+                sends=sends[:i] + sends[i + 1 :], recvs=recvs,
+                ring_capacity=scope.ring_capacity, mode=scope.mode,
+                mutation=scope.mutation,
+            )
+        if sends[i] > 1:
+            yield ExploreScope(
+                sends=sends[:i] + (sends[i] // 2,) + sends[i + 1 :], recvs=recvs,
+                ring_capacity=scope.ring_capacity, mode=scope.mode,
+                mutation=scope.mutation,
+            )
+    for i in range(len(recvs)):
+        if len(recvs) > 1:
+            yield ExploreScope(
+                sends=sends, recvs=recvs[:i] + recvs[i + 1 :],
+                ring_capacity=scope.ring_capacity, mode=scope.mode,
+                mutation=scope.mutation,
+            )
+        n, w = recvs[i]
+        if n > 1:
+            yield ExploreScope(
+                sends=sends, recvs=recvs[:i] + ((n // 2, w),) + recvs[i + 1 :],
+                ring_capacity=scope.ring_capacity, mode=scope.mode,
+                mutation=scope.mutation,
+            )
+    if scope.ring_capacity > 1:
+        yield ExploreScope(
+            sends=sends, recvs=recvs, ring_capacity=scope.ring_capacity // 2,
+            mode=scope.mode, mutation=scope.mutation,
+        )
+
+
+def shrink(
+    result: ExploreResult, *, state_limit: int = DEFAULT_STATE_LIMIT
+) -> Counterexample:
+    """Greedy delta-debugging: repeatedly adopt any smaller scope that
+    still violates, then return its (BFS-minimal) counterexample.
+    """
+    if result.violation is None:
+        raise ValueError("nothing to shrink: exploration found no violation")
+    best_scope = result.scope
+    best = result
+    improved = True
+    while improved:
+        improved = False
+        for cand in _candidates(best_scope):
+            r = explore(cand, state_limit=state_limit)
+            if r.violation is None:
+                continue
+            if _scope_weight(cand, len(r.violation.trace)) < _scope_weight(
+                best_scope, len(best.violation.trace)
+            ):
+                best_scope, best = cand, r
+                improved = True
+                break
+    return best.violation

@@ -1,0 +1,152 @@
+"""Unified, serializable scenario configuration.
+
+Everything that shapes *how a run is executed* — as opposed to what the
+application sends — historically lived in scattered knobs: ``Testbed(...)``
+keyword arguments, ``run_blast(telemetry=)``, ``run_grid(telemetry_dir=)``,
+and the ``REPRO_TELEMETRY_DIR`` environment variable.
+:class:`ScenarioConfig` gathers them into one frozen, picklable,
+JSON-round-trippable object:
+
+* **topology** — which :class:`~repro.bench.profiles.HardwareProfile`
+  (by name, so scenarios serialize)
+* **seed** — the testbed seed (wake-up latencies, fault streams, ...)
+* **faults** — optional :class:`~repro.simnet.faults.FaultProfile`
+* **reliability** — optional :class:`~repro.verbs.reliability.ReliabilityConfig`
+* **schedule** — optional same-instant tie-break policy spec
+  (``("fifo", 0)`` or ``("random", seed)``; see :mod:`repro.simnet.schedule`)
+* **telemetry** / **telemetry_dir** — :mod:`repro.obs` session and artifact
+  placement
+* **max_events** — runaway-simulation guard
+
+Because a scenario serializes, every :mod:`repro.check` counterexample is a
+scenario: the fuzzer writes the exact ``ScenarioConfig`` that produced a
+violation, and ``python -m repro.check replay`` re-runs it bit for bit.
+
+The pre-existing spellings keep working as thin deprecation shims that
+assemble a ``ScenarioConfig`` internally and emit a ``DeprecationWarning``
+(see docs/API.md for the migration table).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+from .bench.profiles import PROFILES, HardwareProfile
+from .simnet.faults import FaultProfile
+from .simnet.schedule import SchedulePolicy, policy_from_spec
+from .verbs.reliability import ReliabilityConfig
+
+__all__ = ["ScenarioConfig", "deprecated_signature"]
+
+
+def deprecated_signature(what: str, instead: str) -> None:
+    """Emit the standard shim warning pointing at :class:`ScenarioConfig`."""
+    warnings.warn(
+        f"{what} is deprecated; {instead} (see docs/API.md)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """One reproducible run environment, as a value.
+
+    ``profile`` may be a profile *name* (a key of
+    :data:`repro.bench.profiles.PROFILES` — the serializable spelling) or a
+    :class:`HardwareProfile` instance (for ad-hoc profiles; such scenarios
+    pickle but do not JSON-serialize unless the profile is registered).
+    """
+
+    profile: Union[str, HardwareProfile] = "fdr"
+    seed: int = 0
+    faults: Optional[FaultProfile] = None
+    reliability: Optional[ReliabilityConfig] = None
+    #: same-instant schedule policy spec: ``None`` (kernel FIFO),
+    #: ``("fifo", 0)``, or ``("random", seed)``
+    schedule: Optional[Tuple[str, int]] = None
+    #: attach a :mod:`repro.obs` telemetry session to the run
+    telemetry: bool = False
+    #: write per-run telemetry JSONL artifacts into this directory
+    telemetry_dir: Optional[str] = None
+    #: hard cap on simulation events (``None`` = caller's default)
+    max_events: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.profile, str) and self.profile not in PROFILES:
+            raise ValueError(
+                f"unknown profile {self.profile!r} (known: {', '.join(sorted(PROFILES))})"
+            )
+        if self.schedule is not None:
+            # normalize to a plain (kind, seed) tuple and validate eagerly
+            if isinstance(self.schedule, SchedulePolicy):
+                spec = self.schedule.spec()
+            else:
+                spec = (str(self.schedule[0]), int(self.schedule[1]))
+                policy_from_spec(spec)
+            object.__setattr__(self, "schedule", spec)
+
+    # ------------------------------------------------------------------
+    # resolution
+    # ------------------------------------------------------------------
+    def resolve_profile(self) -> HardwareProfile:
+        return PROFILES[self.profile] if isinstance(self.profile, str) else self.profile
+
+    def schedule_policy(self) -> Optional[SchedulePolicy]:
+        return policy_from_spec(self.schedule)
+
+    def with_(self, **changes) -> "ScenarioConfig":
+        """A copy with *changes* applied (``dataclasses.replace`` spelling)."""
+        return dataclasses.replace(self, **changes)
+
+    def build_testbed(self, *, jitter=None, trace=None):
+        """Assemble the two-node :class:`~repro.testbed.Testbed` this
+        scenario describes.  ``jitter``/``trace`` are callables (therefore
+        not part of the serializable scenario) and compose on top.
+        """
+        from .testbed import Testbed
+
+        return Testbed.from_scenario(self, jitter=jitter, trace=trace)
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready dict; inverse of :meth:`from_dict`."""
+        profile = self.profile
+        if isinstance(profile, HardwareProfile):
+            if PROFILES.get(profile.name) is not profile:
+                raise ValueError(
+                    f"profile {profile.name!r} is not registered in PROFILES; "
+                    "serializable scenarios must name a registered profile"
+                )
+            profile = profile.name
+        return {
+            "profile": profile,
+            "seed": self.seed,
+            "faults": dataclasses.asdict(self.faults) if self.faults else None,
+            "reliability": dataclasses.asdict(self.reliability) if self.reliability else None,
+            "schedule": list(self.schedule) if self.schedule else None,
+            "telemetry": self.telemetry,
+            "telemetry_dir": self.telemetry_dir,
+            "max_events": self.max_events,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioConfig":
+        faults = data.get("faults")
+        reliability = data.get("reliability")
+        schedule = data.get("schedule")
+        return cls(
+            profile=data.get("profile", "fdr"),
+            seed=int(data.get("seed", 0)),
+            faults=FaultProfile(**faults) if faults else None,
+            reliability=ReliabilityConfig(**reliability) if reliability else None,
+            schedule=tuple(schedule) if schedule else None,
+            telemetry=bool(data.get("telemetry", False)),
+            telemetry_dir=data.get("telemetry_dir"),
+            max_events=data.get("max_events"),
+        )

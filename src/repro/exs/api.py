@@ -19,7 +19,7 @@ from ..simnet import Event
 from ..verbs import MemoryRegion
 from .eventqueue import ExsEvent, ExsEventQueue, ExsEventType
 from .flags import ExsSocketOptions, MsgFlags, SocketType
-from .socket import ExsError, ExsSocket, ExsStack
+from .socket import ExsSocket, ExsStack
 
 __all__ = [
     "exs_socket",
@@ -102,17 +102,42 @@ class BlockingSocket:
     """Synchronous-looking wrapper pairing each call with its completion.
 
     Every method is a generator to ``yield from`` inside a simulation
-    process::
+    process; as a context manager the socket closes itself on exit::
 
         conn = yield from BlockingSocket.connect(stack, port=4000)
-        yield from conn.send_bytes(b"hello")
-        data = yield from conn.recv_bytes(5)
+        with conn:
+            yield from conn.send_bytes(b"hello")
+            data = yield from conn.recv_bytes(5)
+        # exs_close() was issued; the CLOSE completion arrives on conn.eq
+
+    ``with`` issues a fire-and-forget ``exs_close()`` (``__exit__`` cannot
+    yield, so it does not wait for the CLOSE completion); call
+    ``yield from conn.close()`` instead when the process must observe the
+    close finishing before proceeding.
     """
 
     def __init__(self, sock: ExsSocket, eq: ExsEventQueue) -> None:
         self.sock = sock
         self.eq = eq
         self.stack = sock.stack
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------------
+    def __enter__(self) -> "BlockingSocket":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close_nowait()
+        return False
+
+    def close_nowait(self) -> None:
+        """Issue ``exs_close()`` without waiting; idempotent.
+
+        The CLOSE completion is delivered to ``self.eq`` like any other.
+        """
+        if not self._closed:
+            self._closed = True
+            self.sock.close(self.eq)
 
     # -- establishment -----------------------------------------------------
     @classmethod
@@ -123,8 +148,7 @@ class BlockingSocket:
         eq = stack.qcreate()
         sock.connect(port, eq)
         ev: ExsEvent = yield eq.dequeue()
-        if ev.kind is not ExsEventType.CONNECT:
-            raise ExsError(f"connect failed: {ev.error}")
+        ev.expect(ExsEventType.CONNECT)
         return cls(sock, eq)
 
     @classmethod
@@ -136,8 +160,7 @@ class BlockingSocket:
         eq = stack.qcreate()
         listener.accept(eq)
         ev: ExsEvent = yield eq.dequeue()
-        if ev.kind is not ExsEventType.ACCEPT:
-            raise ExsError(f"accept failed: {ev.error}")
+        ev.expect(ExsEventType.ACCEPT)
         return cls(ev.socket, eq)
 
     # -- data ---------------------------------------------------------------
@@ -148,8 +171,7 @@ class BlockingSocket:
         mr = yield from self.stack.mregister(buf)
         self.sock.send(buf, mr, len(payload), self.eq)
         ev: ExsEvent = yield self.eq.dequeue()
-        if ev.kind is not ExsEventType.SEND:
-            raise ExsError(f"send failed: {ev.kind} {ev.error}")
+        ev.expect(ExsEventType.SEND)
         self.stack.mderegister(mr)
         return ev.nbytes
 
@@ -160,15 +182,17 @@ class BlockingSocket:
         flags = MsgFlags.MSG_WAITALL if waitall else MsgFlags.NONE
         self.sock.recv(buf, mr, max_nbytes, self.eq, flags=flags)
         ev: ExsEvent = yield self.eq.dequeue()
-        if ev.kind is not ExsEventType.RECV:
-            raise ExsError(f"recv failed: {ev.kind} {ev.error}")
+        ev.expect(ExsEventType.RECV)
         self.stack.mderegister(mr)
         data = buf.read(0, ev.nbytes)
         return b"" if ev.eof and ev.nbytes == 0 else (data or b"")
 
     def close(self):
+        """Close and wait for the CLOSE completion; no-op when already closed."""
+        if self._closed:
+            return None
+        self._closed = True
         self.sock.close(self.eq)
         ev: ExsEvent = yield self.eq.dequeue()
-        if ev.kind is not ExsEventType.CLOSE:
-            raise ExsError(f"close failed: {ev.kind}")
+        ev.expect(ExsEventType.CLOSE)
         return None

@@ -51,6 +51,27 @@ class ExsEvent:
     def ok(self) -> bool:
         return self.error is None
 
+    def expect(self, kind: "ExsEventType") -> "ExsEvent":
+        """Assert this completion is a successful *kind*; returns ``self``.
+
+        The named replacement for ad-hoc ``if ev.kind is not ...`` poking::
+
+            ev = (yield eq.dequeue()).expect(ExsEventType.SEND)
+            sent = ev.nbytes
+
+        Raises :class:`~repro.exs.socket.ExsError` carrying both the
+        expected and actual kind (plus the library's error string, if any)
+        when the completion is anything else.
+        """
+        from .socket import ExsError  # circular at module load time
+
+        if self.kind is not kind or self.error is not None:
+            detail = f": {self.error}" if self.error else ""
+            raise ExsError(
+                f"expected {kind.value} completion, got {self.kind.value}{detail}"
+            )
+        return self
+
 
 class ExsEventQueue:
     """Created by ``exs_qcreate()``; the application's completion mailbox.

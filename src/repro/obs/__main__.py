@@ -34,6 +34,7 @@ SCENARIOS = ("quickstart", "blast", "adaptive")
 # ---------------------------------------------------------------------------
 def _run_quickstart(messages: int, seed: int, interval_us: int) -> Telemetry:
     """The quickstart byte stream (real data), with telemetry attached."""
+    from ..config import ScenarioConfig
     from ..exs import BlockingSocket
     from ..testbed import Testbed
 
@@ -42,7 +43,7 @@ def _run_quickstart(messages: int, seed: int, interval_us: int) -> Telemetry:
     sizes = [cycle[i % len(cycle)] for i in range(messages)]
     total = sum(sizes)
 
-    tb = Testbed(seed=seed)
+    tb = Testbed.from_scenario(ScenarioConfig(seed=seed))
     tel = Telemetry.attach(tb, sample_interval_ns=interval_us * 1000)
 
     def server():
@@ -71,6 +72,7 @@ def _run_blast(messages: int, seed: int, interval_us: int,
     that forces direct<->indirect mode switches."""
     from ..apps.blast import BlastConfig, run_blast
     from ..apps.workloads import ExponentialSizes, FixedSizes, PhasedSizes
+    from ..config import ScenarioConfig
     from ..testbed import Testbed
 
     if adaptive:
@@ -86,9 +88,10 @@ def _run_blast(messages: int, seed: int, interval_us: int,
     else:
         cfg = BlastConfig(total_messages=messages,
                           sizes=ExponentialSizes(seed=seed))
-    tb = Testbed(seed=seed)
+    scenario = ScenarioConfig(seed=seed, max_events=400_000_000)
+    tb = Testbed.from_scenario(scenario)
     tel = Telemetry.attach(tb, sample_interval_ns=interval_us * 1000)
-    run_blast(cfg, testbed=tb, seed=seed, max_events=400_000_000)
+    run_blast(cfg, testbed=tb, scenario=scenario)
     tel.finish(scenario="adaptive" if adaptive else "blast",
                messages=messages, seed=seed)
     return tel

@@ -3,7 +3,7 @@
 :meth:`Telemetry.attach` is the one call that turns a silent testbed into an
 observed one::
 
-    tb = Testbed(seed=1)
+    tb = Testbed.from_scenario(ScenarioConfig(seed=1))
     tel = Telemetry.attach(tb)
     ... run ...
     tel.finish()

@@ -12,6 +12,8 @@ it) and provides:
 * :class:`~repro.simnet.link.Link` — serialized full-duplex link model.
 * :class:`~repro.simnet.emulator.DelayEmulator` — Anue-style WAN delay/jitter.
 * :class:`~repro.simnet.faults.ImpairmentModel` — seeded lossy-wire faults.
+* :class:`~repro.simnet.schedule.SchedulePolicy` — same-instant tie-break
+  policies (FIFO / seeded-random) for the conformance fuzzer.
 """
 
 from .emulator import DelayEmulator, gaussian_jitter, uniform_jitter
@@ -30,6 +32,7 @@ from .kernel import SimulationError, Simulator
 from .link import Link, LinkDirection, LinkStats
 from .process import Interrupt, Process
 from .resources import Resource, Store
+from .schedule import FifoPolicy, RandomTiebreakPolicy, SchedulePolicy, policy_from_spec
 
 __all__ = [
     "AllOf",
@@ -41,6 +44,7 @@ __all__ = [
     "Fate",
     "FaultProfile",
     "FaultStats",
+    "FifoPolicy",
     "HEAVY_LOSS",
     "ImpairmentModel",
     "Interrupt",
@@ -49,12 +53,15 @@ __all__ = [
     "LinkDirection",
     "LinkStats",
     "Process",
+    "RandomTiebreakPolicy",
     "Resource",
+    "SchedulePolicy",
     "Signal",
     "SimulationError",
     "Simulator",
     "Store",
     "Timeout",
     "gaussian_jitter",
+    "policy_from_spec",
     "uniform_jitter",
 ]

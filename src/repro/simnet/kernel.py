@@ -15,7 +15,10 @@ Ties in the calendar are broken by a monotonically increasing sequence
 number, so two events scheduled for the same instant fire in the order they
 were scheduled.  This determinism is essential: the protocol under study is
 sensitive to message/completion races and we want those races to be
-*simulated*, not to depend on Python hash ordering.
+*simulated*, not to depend on Python hash ordering.  A
+:class:`~repro.simnet.schedule.SchedulePolicy` may re-key those same-instant
+ties (seeded-random interleavings for the conformance fuzzer); events at
+different timestamps are never reordered.
 
 Performance notes (this kernel is the host-side bottleneck of every
 experiment):
@@ -87,12 +90,26 @@ class Simulator:
         every traced kernel action.  ``None`` disables tracing (the default;
         tracing is for debugging, not for measurement).  Call sites on hot
         paths should consult :attr:`tracing` before formatting messages.
+    schedule_policy:
+        Optional :class:`~repro.simnet.schedule.SchedulePolicy` re-keying
+        same-timestamp ties.  ``None`` (the default) keeps the plain FIFO
+        calendar with its three-element heap entries; a policy switches to
+        four-element entries ``(time, tiebreak, seq, entry)`` whose final
+        ``seq`` keeps the order total.  ``FifoPolicy`` reproduces the
+        default order bit for bit.
     """
 
-    def __init__(self, trace: Optional[Callable[[int, str, str], None]] = None) -> None:
+    def __init__(
+        self,
+        trace: Optional[Callable[[int, str, str], None]] = None,
+        *,
+        schedule_policy=None,
+    ) -> None:
         self._now: int = 0
-        self._queue: list[tuple[int, int, Any]] = []
+        self._queue: list[tuple] = []
         self._seq: int = 0
+        self._policy = schedule_policy
+        self._tiebreak = schedule_policy.tiebreak if schedule_policy is not None else None
         self._trace = trace
         #: True when a trace hook is installed; guards f-string construction
         #: at call sites (the guarded-trace discipline).
@@ -135,7 +152,13 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
         self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+        when = self._now + delay
+        if self._tiebreak is None:
+            heapq.heappush(self._queue, (when, self._seq, event))
+        else:
+            heapq.heappush(
+                self._queue, (when, self._tiebreak(when, self._seq), self._seq, event)
+            )
         event._scheduled = True
 
     def call_in(self, delay: int, fn: Callable[[Any], None], arg: Any = None) -> None:
@@ -149,14 +172,22 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
         self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, self._seq, CallbackEntry(fn, arg)))
+        when = self._now + delay
+        if self._tiebreak is None:
+            heapq.heappush(self._queue, (when, self._seq, CallbackEntry(fn, arg)))
+        else:
+            heapq.heappush(
+                self._queue,
+                (when, self._tiebreak(when, self._seq), self._seq, CallbackEntry(fn, arg)),
+            )
 
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
     def step(self) -> None:
         """Execute the next event on the calendar, advancing the clock."""
-        when, _, event = heapq.heappop(self._queue)
+        item = heapq.heappop(self._queue)
+        when, event = item[0], item[-1]
         if when < self._now:  # pragma: no cover - defensive
             raise SimulationError("event calendar corrupted: time went backwards")
         self._now = when

@@ -5,10 +5,14 @@ simulator, two hosts (client / server), the link (optionally through a
 delay emulator), the RDMA devices, and an EXS stack on each host.  It is
 the starting point of every example, test, and benchmark::
 
-    tb = Testbed(FDR_INFINIBAND, seed=1)
+    tb = Testbed.from_scenario(ScenarioConfig(seed=1))
     tb.sim.process(server_app(tb.server), name="server")
     tb.sim.process(client_app(tb.client), name="client")
     tb.run()
+
+The keyword-assembly spelling ``Testbed(profile, seed=..., faults=...)``
+still works as a deprecation shim; new code should describe the run as a
+:class:`repro.config.ScenarioConfig` so it serializes and replays.
 """
 
 from __future__ import annotations
@@ -17,9 +21,11 @@ from dataclasses import replace
 from typing import Callable, Optional, Union
 
 from .bench.profiles import FDR_INFINIBAND, HardwareProfile
+from .config import ScenarioConfig, deprecated_signature
 from .exs import ExsStack
 from .hosts import Host
 from .simnet import DelayEmulator, FaultProfile, ImpairmentModel, Link, Simulator
+from .simnet.schedule import SchedulePolicy
 from .verbs import ConnectionManager, ReliabilityConfig, connect_devices
 from .verbs.comp_channel import uniform_wakeup
 
@@ -41,6 +47,8 @@ class Testbed:
         trace: Optional[Callable[[int, str, str], None]] = None,
         faults: Optional[Union[FaultProfile, ImpairmentModel]] = None,
         reliability: Optional[ReliabilityConfig] = None,
+        schedule_policy: Optional[SchedulePolicy] = None,
+        scenario: Optional[ScenarioConfig] = None,
     ) -> None:
         """*faults* makes the wire lossy: pass a
         :class:`~repro.simnet.faults.FaultProfile` (an
@@ -50,10 +58,39 @@ class Testbed:
         when *faults* is set and *reliability* is not, a config scaled to
         the path's one-way latency is derived automatically — an impaired
         wire without retransmission machinery loses data by design.
+
+        Passing *scenario* is the preferred spelling: profile, seed,
+        faults, reliability, and the schedule policy are taken from it (and
+        must not also be passed as keywords).  Assembling those knobs as
+        keyword arguments is deprecated.
         """
+        if scenario is not None:
+            if (
+                profile is not FDR_INFINIBAND
+                or seed != 0
+                or faults is not None
+                or reliability is not None
+                or schedule_policy is not None
+            ):
+                raise ValueError(
+                    "pass either scenario= or the individual profile/seed/"
+                    "faults/reliability/schedule_policy knobs, not both"
+                )
+            profile = scenario.resolve_profile()
+            seed = scenario.seed
+            faults = scenario.faults
+            reliability = scenario.reliability
+            schedule_policy = scenario.schedule_policy()
+        else:
+            deprecated_signature(
+                "assembling Testbed(...) from scattered keyword arguments",
+                "describe the run as a repro.ScenarioConfig and use "
+                "Testbed.from_scenario(scenario) or Testbed(scenario=...)",
+            )
+        self.scenario = scenario
         self.profile = profile
         self.seed = seed
-        self.sim = Simulator(trace=trace)
+        self.sim = Simulator(trace=trace, schedule_policy=schedule_policy)
 
         self.client_host = Host(
             self.sim, "client",
@@ -110,6 +147,20 @@ class Testbed:
 
         #: set by :meth:`attach_telemetry`
         self.telemetry = None
+
+    @classmethod
+    def from_scenario(
+        cls,
+        scenario: ScenarioConfig,
+        *,
+        jitter: Optional[Callable] = None,
+        trace: Optional[Callable[[int, str, str], None]] = None,
+    ) -> "Testbed":
+        """Build the testbed a :class:`~repro.config.ScenarioConfig`
+        describes.  ``jitter``/``trace`` are callables — not serializable,
+        so not scenario fields — and compose on top.
+        """
+        return cls(jitter=jitter, trace=trace, scenario=scenario)
 
     def attach_telemetry(self, **kwargs):
         """Attach a :class:`repro.obs.Telemetry` session to this testbed.

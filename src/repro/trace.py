@@ -8,7 +8,7 @@ time-bucketed ASCII timeline or CSV for external tooling.
 
 Usage::
 
-    tb = Testbed(seed=1)
+    tb = Testbed.from_scenario(ScenarioConfig(seed=1))
     tracer = ProtocolTracer.attach(tb)
     ... run ...
     print(render_timeline(tracer, width=72))

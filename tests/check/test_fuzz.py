@@ -1,0 +1,49 @@
+"""Schedule-permutation fuzzer: determinism and FIFO-identity guarantees."""
+
+from __future__ import annotations
+
+from repro.check import FuzzCase, run_case, run_fuzz
+from repro.config import ScenarioConfig
+
+CASE = FuzzCase(messages=12)
+
+
+def test_same_seed_is_bit_deterministic():
+    scenario = ScenarioConfig(schedule=("random", 7))
+    a = run_case(CASE, scenario)
+    b = run_case(CASE, scenario)
+    assert a.ok and b.ok
+    assert a.fingerprint == b.fingerprint
+
+
+def test_fifo_policy_is_byte_identical_to_unfuzzed():
+    plain = run_case(CASE, ScenarioConfig())
+    fifo = run_case(CASE, ScenarioConfig(schedule=("fifo", 0)))
+    assert plain.ok and fifo.ok
+    assert plain.fingerprint == fifo.fingerprint
+
+
+def test_run_fuzz_collects_outcomes_per_seed():
+    report = run_fuzz(range(3), CASE)
+    assert report.ok
+    assert len(report.outcomes) == 3
+    assert all(o.ok for o in report.outcomes)
+    # the scenario embedded in each outcome records its schedule seed
+    seeds = [o.scenario.schedule for o in report.outcomes]
+    assert seeds == [("random", 0), ("random", 1), ("random", 2)]
+
+
+def test_failing_outcome_becomes_replayable_counterexample():
+    # an impossible event budget guarantees a RuntimeError from run_blast
+    base = ScenarioConfig(max_events=10)
+    report = run_fuzz([5], CASE, base)
+    assert not report.ok
+    ce = report.failures[0]
+    assert ce.kind == "fuzz"
+    assert ce.scenario["schedule"] == ["random", 5]
+    assert ce.fuzz_case["messages"] == CASE.messages
+
+
+def test_fuzz_case_round_trips():
+    case = FuzzCase(messages=7, waitall=True, mode="indirect")
+    assert FuzzCase.from_dict(case.to_dict()) == case

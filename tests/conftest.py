@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.config import ScenarioConfig
 from repro.simnet import Simulator
 from repro.testbed import Testbed
 
@@ -15,4 +16,4 @@ def sim() -> Simulator:
 
 @pytest.fixture
 def testbed() -> Testbed:
-    return Testbed(seed=1)
+    return Testbed.from_scenario(ScenarioConfig(seed=1))

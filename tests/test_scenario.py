@@ -1,0 +1,130 @@
+"""ScenarioConfig: round-trips, validation, and the deprecation shims."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.apps.blast import BlastConfig, run_blast
+from repro.apps.workloads import FixedSizes
+from repro.bench.profiles import PROFILES
+from repro.config import ScenarioConfig
+from repro.simnet import FaultProfile
+from repro.simnet.schedule import FifoPolicy, RandomTiebreakPolicy
+from repro.testbed import Testbed
+from repro.verbs import ReliabilityConfig
+
+CFG = BlastConfig(total_messages=6, sizes=FixedSizes(32 * 1024),
+                  outstanding_sends=2, outstanding_recvs=2)
+
+
+# ---------------------------------------------------------------------------
+# the value object
+# ---------------------------------------------------------------------------
+def test_round_trip_through_json():
+    scenario = ScenarioConfig(
+        profile="roce-wan",
+        seed=11,
+        faults=FaultProfile(drop_prob=0.02),
+        reliability=ReliabilityConfig(retry_timeout_ns=100_000),
+        schedule=("random", 9),
+        telemetry=True,
+        telemetry_dir="/tmp/somewhere",
+        max_events=123,
+    )
+    back = ScenarioConfig.from_dict(json.loads(json.dumps(scenario.to_dict())))
+    assert back == scenario
+
+
+def test_unknown_profile_rejected():
+    with pytest.raises(ValueError, match="unknown profile"):
+        ScenarioConfig(profile="infiniband-9000")
+
+
+def test_bad_schedule_spec_rejected():
+    with pytest.raises(ValueError):
+        ScenarioConfig(schedule=("lifo", 0))
+
+
+def test_schedule_policy_resolution():
+    assert ScenarioConfig().schedule_policy() is None
+    assert isinstance(ScenarioConfig(schedule=("fifo", 0)).schedule_policy(), FifoPolicy)
+    policy = ScenarioConfig(schedule=("random", 4)).schedule_policy()
+    assert isinstance(policy, RandomTiebreakPolicy)
+    assert policy.seed == 4
+
+
+def test_with_copies_and_overrides():
+    base = ScenarioConfig(seed=1)
+    derived = base.with_(seed=2, schedule=("random", 3))
+    assert derived.seed == 2 and derived.schedule == ("random", 3)
+    assert base.seed == 1 and base.schedule is None
+
+
+def test_unregistered_adhoc_profile_does_not_serialize():
+    profile = PROFILES["fdr"]
+    import dataclasses
+
+    adhoc = dataclasses.replace(profile, name="adhoc-custom")
+    scenario = ScenarioConfig(profile=adhoc)
+    assert scenario.resolve_profile() is adhoc
+    with pytest.raises(ValueError, match="not registered"):
+        scenario.to_dict()
+
+
+# ---------------------------------------------------------------------------
+# the deprecation shims
+# ---------------------------------------------------------------------------
+def test_testbed_keyword_assembly_warns():
+    with pytest.warns(DeprecationWarning, match="ScenarioConfig"):
+        Testbed(seed=5)
+
+
+def test_testbed_from_scenario_does_not_warn(recwarn):
+    Testbed.from_scenario(ScenarioConfig(seed=5))
+    assert not [w for w in recwarn if issubclass(w.category, DeprecationWarning)]
+
+
+def test_testbed_rejects_scenario_plus_knobs():
+    with pytest.raises(ValueError, match="not both"):
+        Testbed(seed=5, scenario=ScenarioConfig())
+
+
+def test_legacy_testbed_matches_scenario_testbed():
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        legacy = run_blast(CFG, testbed=Testbed(seed=5))
+    modern = run_blast(CFG, scenario=ScenarioConfig(seed=5))
+    assert legacy.total_bytes == modern.total_bytes
+    assert legacy.end_ns == modern.end_ns
+
+
+def test_run_blast_legacy_knobs_warn():
+    with pytest.warns(DeprecationWarning, match="run_blast"):
+        run_blast(CFG, seed=5)
+
+
+def test_run_blast_scenario_does_not_warn(recwarn):
+    run_blast(CFG, scenario=ScenarioConfig(seed=5))
+    assert not [w for w in recwarn if issubclass(w.category, DeprecationWarning)]
+
+
+def test_run_blast_rejects_scenario_plus_knobs():
+    with pytest.raises(ValueError):
+        run_blast(CFG, seed=5, scenario=ScenarioConfig())
+
+
+def test_env_var_telemetry_dir_warns_and_writes(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TELEMETRY_DIR", str(tmp_path / "artifacts"))
+    with pytest.warns(DeprecationWarning, match="REPRO_TELEMETRY_DIR"):
+        run_blast(CFG, seed=5)
+    assert list((tmp_path / "artifacts").glob("*.jsonl"))
+
+
+def test_scenario_telemetry_dir_writes_without_env(tmp_path):
+    scenario = ScenarioConfig(seed=5, telemetry_dir=str(tmp_path / "artifacts"))
+    run_blast(CFG, scenario=scenario)
+    assert list((tmp_path / "artifacts").glob("*.jsonl"))
