@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test bench bench-smoke bench-paper figures examples obs-smoke chaos-smoke check-smoke all
+.PHONY: install test bench bench-smoke bench-compare bench-paper figures examples obs-smoke chaos-smoke check-smoke all
 
 install:
 	pip install -e . || python setup.py develop
@@ -16,6 +16,14 @@ bench:
 bench-smoke:
 	REPRO_BENCH_QUALITY=smoke pytest benchmarks/test_simulator_performance.py \
 		--benchmark-only --benchmark-json=BENCH_simulator.json
+
+# Regression gate: rerun the simulator micro-benchmarks into a scratch
+# file and compare means against the committed baseline; fails when any
+# shared benchmark's mean regressed by more than 25%.
+bench-compare:
+	REPRO_BENCH_QUALITY=smoke pytest benchmarks/test_simulator_performance.py \
+		--benchmark-only --benchmark-json=bench-current.json
+	python benchmarks/bench_compare.py BENCH_simulator.json bench-current.json
 
 bench-paper:
 	REPRO_BENCH_QUALITY=paper pytest benchmarks/ --benchmark-only

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Compare a fresh pytest-benchmark run against the committed baseline.
+
+Usage::
+
+    python benchmarks/bench_compare.py BASELINE.json CURRENT.json \
+        [--threshold 0.25]
+
+Reads two ``--benchmark-json`` files, matches benchmarks by name, and
+fails (exit 1) if any benchmark's mean regressed by more than the
+threshold (default 25%) relative to the baseline.  Benchmarks present on
+only one side are reported but never fail the comparison — new
+benchmarks land before their baseline is recorded, and retired ones
+linger in old baselines.
+
+Meant for ``make bench-compare`` and the (non-blocking) CI job: absolute
+times on shared runners are noisy, so the threshold is generous and the
+job is advisory — a consistent failure across reruns is the signal.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_means(path: str) -> dict:
+    with open(path) as fh:
+        doc = json.load(fh)
+    return {b["name"]: b["stats"]["mean"] for b in doc.get("benchmarks", [])}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed baseline json (BENCH_simulator.json)")
+    parser.add_argument("current", help="fresh --benchmark-json output to check")
+    parser.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="allowed relative mean regression before failing (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_means(args.baseline)
+    current = load_means(args.current)
+    if not baseline:
+        print(f"bench-compare: no benchmarks in baseline {args.baseline}", file=sys.stderr)
+        return 2
+    if not current:
+        print(f"bench-compare: no benchmarks in current run {args.current}", file=sys.stderr)
+        return 2
+
+    regressions = []
+    width = max(len(n) for n in sorted(set(baseline) | set(current)))
+    print(f"{'benchmark':<{width}}  {'baseline':>10}  {'current':>10}  {'ratio':>7}")
+    for name in sorted(set(baseline) | set(current)):
+        if name not in baseline:
+            print(f"{name:<{width}}  {'-':>10}  {current[name] * 1e3:>8.2f}ms  {'new':>7}")
+            continue
+        if name not in current:
+            print(f"{name:<{width}}  {baseline[name] * 1e3:>8.2f}ms  {'-':>10}  {'gone':>7}")
+            continue
+        ratio = current[name] / baseline[name]
+        flag = "  <-- regression" if ratio > 1.0 + args.threshold else ""
+        print(f"{name:<{width}}  {baseline[name] * 1e3:>8.2f}ms  "
+              f"{current[name] * 1e3:>8.2f}ms  {ratio:>6.2f}x{flag}")
+        if ratio > 1.0 + args.threshold:
+            regressions.append((name, ratio))
+
+    if regressions:
+        worst = max(r for _, r in regressions)
+        print(
+            f"\nbench-compare: {len(regressions)} benchmark(s) regressed more than "
+            f"{args.threshold:.0%} vs {args.baseline} (worst {worst:.2f}x)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nbench-compare: all shared benchmarks within {args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

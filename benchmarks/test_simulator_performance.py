@@ -65,3 +65,40 @@ def test_indirect_copy_path_rate(benchmark):
 
     result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
     assert result.rx_stats.copied_bytes == result.total_bytes
+
+
+def _real_bytes_blast(mode: ProtocolMode):
+    """1 MiB real-bytes blast: the data-plane (payload memcpy) hot path.
+
+    Unlike the synthetic-mode benchmarks above, payload bytes actually move
+    through every hop here, so this measures the Python-level copy cost of
+    the simulated data plane itself.
+    """
+    cfg = BlastConfig(
+        total_messages=64,
+        sizes=FixedSizes(1024 * 1024),
+        recv_buffer_bytes=1024 * 1024,
+        outstanding_sends=4,
+        outstanding_recvs=4,
+        mode=mode,
+        real_data=True,
+    )
+    return run_blast(cfg, seed=1, max_events=50_000_000)
+
+
+def test_real_bytes_direct_blast_rate(benchmark):
+    """Zero-copy direct path with real payload bytes (1 MiB messages)."""
+    result = benchmark.pedantic(
+        lambda: _real_bytes_blast(ProtocolMode.DIRECT_ONLY),
+        rounds=3, iterations=1, warmup_rounds=1)
+    assert result.total_bytes == 64 * 1024 * 1024
+    assert result.tx_stats.indirect_transfers == 0
+
+
+def test_real_bytes_indirect_blast_rate(benchmark):
+    """Ring-staged indirect path with real payload bytes (1 MiB messages)."""
+    result = benchmark.pedantic(
+        lambda: _real_bytes_blast(ProtocolMode.INDIRECT_ONLY),
+        rounds=3, iterations=1, warmup_rounds=1)
+    assert result.total_bytes == 64 * 1024 * 1024
+    assert result.rx_stats.copied_bytes == result.total_bytes

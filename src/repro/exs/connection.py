@@ -24,7 +24,7 @@ from typing import Any, Deque, Optional
 from ..core import ProtocolStats
 from ..core.invariants import require
 from ..hosts.host import Host
-from ..hosts.memory import Chunk
+from ..hosts.memory import Chunk, CopyMeter
 from ..simnet import AnyOf, Signal, Simulator
 from ..verbs import (
     SGE,
@@ -110,6 +110,10 @@ class ExsConnection:
         # statistics (tx = our sender half, rx = our receiver half)
         self.tx_stats = ProtocolStats()
         self.rx_stats = ProtocolStats()
+        #: payload-plane copy accounting: every buffer this connection moves
+        #: data through (ring, staging, user send/recv buffers) charges this
+        #: meter, so "copied exactly once" is directly assertable.
+        self.copy_meter = CopyMeter()
 
         self.socket_type = socket_type
         if socket_type is SocketType.SOCK_STREAM:
@@ -117,6 +121,7 @@ class ExsConnection:
             self.ring_buffer = host.alloc(
                 options.ring_capacity, real=options.real_data, label=f"exs{self.conn_id}:ring"
             )
+            self.ring_buffer.meter = self.copy_meter
             self.ring_mr = device.register(self.ring_buffer)
             self.tx = StreamSenderHalf(self)
             self.rx = StreamReceiverHalf(self, self.ring_buffer, self.ring_mr)
@@ -272,6 +277,7 @@ class ExsConnection:
                 name=f"exs{self.conn_id}-stage",
             )
             return
+        buffer.meter = self.copy_meter
         self.tx.submit(buffer, mr, offset, nbytes, eq, context)
         self.kick()
 
@@ -285,10 +291,11 @@ class ExsConnection:
             return
         staging = self.host.alloc(nbytes, real=self.options.real_data and buffer.is_real,
                                   label=f"exs{self.conn_id}:stage")
+        staging.meter = self.copy_meter
         if staging.is_real:
-            data = buffer.read(offset, nbytes)
-            if data is not None:
-                staging.fill(data)
+            # One metered copy straight from a view of the user buffer into
+            # staging (the deliberate sender-copy of SDP-BCopy semantics).
+            staging.write(0, buffer.view(offset, nbytes))
         staging_mr = self.device.register(staging)
         usend = self.tx.submit(staging, staging_mr, 0, nbytes, eq, context)
         usend.notify_completion = False
@@ -302,6 +309,7 @@ class ExsConnection:
         if self.broken:
             self._post_error(urecv.eq, urecv.context)
             return
+        urecv.buffer.meter = self.copy_meter
         advert = self.rx.submit(urecv)
         if advert is not None:
             self.queue_control(advert)
@@ -416,9 +424,16 @@ class ExsConnection:
         elif wc.opcode is WCOpcode.RDMA_WRITE:
             # one of our WWIs was acknowledged by the transport
             yield from self.charge(self.costs.completion_ns)
-            kind, usend, nbytes = wc.context
+            kind, usend, chunk = wc.context
             require(kind == "data", "wc dispatch", "unexpected send-completion context")
-            self.tx.on_data_acked(usend, nbytes)
+            if chunk.pin is not None:
+                # The EXS-level ack frees the send window: from here the
+                # user may reuse the buffer range, so the in-flight view is
+                # dead (nothing re-delivers it — the transport ack implies
+                # the responder consumed this seq, and any later duplicate
+                # is discarded by the sequence check without touching data).
+                chunk.pin.release()
+            self.tx.on_data_acked(usend, chunk.nbytes)
         elif wc.opcode is WCOpcode.SEND:
             # control message send completion
             yield from self.charge(self.costs.completion_ns)

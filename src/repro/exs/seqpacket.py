@@ -95,10 +95,14 @@ class SeqPacketSenderHalf:
             ps.truncated = ps.nbytes > advert.length
             ps.sent_bytes = nbytes
             self.messages_sent += 1
-            data = ps.buffer.read(ps.offset, nbytes)
+            # Zero-copy slice, pinned until the transport ack (released in
+            # ExsConnection._handle_wc) — same aliasing rule as the stream
+            # sender half.
+            view = ps.buffer.view(ps.offset, nbytes)
+            pin = ps.buffer.pin_range(ps.offset, nbytes) if view is not None else None
             if self.first_post_ns is None:
                 self.first_post_ns = self.conn.sim.now
-            chunk = Chunk(self.messages_sent, nbytes, data)
+            chunk = Chunk(self.messages_sent, nbytes, view, pin=pin)
             imm = encode_direct_imm(advert.advert_id)
             yield from self.conn.charge(self.conn.costs.post_wr_ns)
             if self.conn.options.native_write_with_imm:
@@ -111,7 +115,7 @@ class SeqPacketSenderHalf:
                     rkey=advert.rkey,
                     imm_data=imm,
                     payload=chunk,
-                    context=("data", ps, nbytes),
+                    context=("data", ps, chunk),
                 ))
             else:
                 # older-iWARP emulation (paper §II-B): WRITE + notify SEND
@@ -122,7 +126,7 @@ class SeqPacketSenderHalf:
                     remote_addr=advert.remote_addr,
                     rkey=advert.rkey,
                     payload=chunk,
-                    context=("data", ps, nbytes),
+                    context=("data", ps, chunk),
                 ))
                 self.conn.queue_control(DataNotifyMsg(
                     imm_data=imm,

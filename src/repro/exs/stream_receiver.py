@@ -127,12 +127,12 @@ class StreamReceiverHalf:
             conn.trace("copy", nbytes=plan.nbytes, seq=self.algo.seq)
         yield from conn.host.cpu.work(conn.host.copy_ns(plan.nbytes))
         urecv: UserRecv = plan.entry.context
-        dest = plan.dest_offset
-        for seg in plan.ring_segments:
-            view = self.ring_buffer.view(seg.offset, seg.nbytes)
-            if view is not None:
-                urecv.buffer.write(urecv.offset + dest, view)
-            dest += seg.nbytes
+        # Gather zero-copy ring views, scatter-write them into user memory:
+        # the indirect path's one real memcpy (and its metered copy).
+        views = self.ring_buffer.gather(
+            (seg.offset, seg.nbytes) for seg in plan.ring_segments)
+        if views is not None:
+            urecv.buffer.scatter_write(urecv.offset + plan.dest_offset, views)
         for entry in self.algo.on_copied(plan):
             self._deliver(entry)
         self._maybe_queue_ring_ack()

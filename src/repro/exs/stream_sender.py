@@ -205,7 +205,7 @@ class StreamSenderHalf:
                 rkey=rkey,
                 imm_data=imm,
                 payload=chunk,
-                context=("data", usend, chunk.nbytes),
+                context=("data", usend, chunk),
             ))
         else:
             # Silent RDMA WRITE (no RECV consumed, no credit) ...
@@ -216,7 +216,7 @@ class StreamSenderHalf:
                 remote_addr=remote_addr,
                 rkey=rkey,
                 payload=chunk,
-                context=("data", usend, chunk.nbytes),
+                context=("data", usend, chunk),
             ))
             # ... then the notification SEND (same QP, so it arrives after
             # the data is placed; this one does consume a credit).
@@ -228,9 +228,18 @@ class StreamSenderHalf:
             ))
 
     def _slice(self, usend: UserSend, stream_seq: int, nbytes: int, local_offset: Optional[int] = None) -> Chunk:
+        """Zero-copy slice of the user buffer for one transfer.
+
+        The chunk carries a live ``memoryview`` pinned until the transport
+        ack (RC semantics: the user may not reuse the memory before the
+        send completes, so retransmission and fault duplication always
+        re-deliver the original bytes).  The pin is released in
+        :meth:`ExsConnection._handle_wc` when the WWI completes.
+        """
         off = usend.offset + (usend.planned if local_offset is None else local_offset)
-        data = usend.buffer.read(off, nbytes)
-        return Chunk(stream_seq, nbytes, data)
+        view = usend.buffer.view(off, nbytes)
+        pin = usend.buffer.pin_range(off, nbytes) if view is not None else None
+        return Chunk(stream_seq, nbytes, view, pin=pin)
 
     # ------------------------------------------------------------------
     def on_data_acked(self, usend: UserSend, nbytes: int) -> None:

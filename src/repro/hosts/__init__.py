@@ -2,14 +2,27 @@
 
 from .cpu import Cpu, CpuCostModel
 from .host import Host
-from .memory import Buffer, Chunk, MemoryArena, MemoryError_
+from .memory import (
+    Buffer,
+    Chunk,
+    CopyMeter,
+    MemoryArena,
+    MemoryError_,
+    ViewPin,
+    pin_debug_enabled,
+    set_pin_debug,
+)
 
 __all__ = [
     "Buffer",
     "Chunk",
+    "CopyMeter",
     "Cpu",
     "CpuCostModel",
     "Host",
     "MemoryArena",
     "MemoryError_",
+    "ViewPin",
+    "pin_debug_enabled",
+    "set_pin_debug",
 ]

@@ -10,8 +10,14 @@ against (see docs/OBSERVABILITY.md):
 * :mod:`repro.obs.export` — JSONL / CSV / Prometheus-text artifacts
 * :mod:`repro.obs.report` — text/Markdown run reports
 * ``python -m repro.obs`` — run a scenario (or load an artifact) and report
+
+:class:`~repro.hosts.memory.CopyMeter` (re-exported here) is the payload
+plane's copy accounting: per-connection counters for payload bytes copied,
+views forwarded, and pins outstanding, sampled into the per-connection
+``connN.<host>.copy.*`` metrics.
 """
 
+from ..hosts.memory import CopyMeter
 from .export import (
     SCHEMA_VERSION,
     RunArtifact,
@@ -28,6 +34,7 @@ from .spans import MessageSpan, build_spans
 from .telemetry import Telemetry
 
 __all__ = [
+    "CopyMeter",
     "Counter",
     "Gauge",
     "Histogram",

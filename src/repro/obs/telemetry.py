@@ -192,6 +192,14 @@ class Telemetry:
                 out[f"{p}.rx.ring_stored"] = rx_algo.ring.stored
             if conn.credits is not None:
                 out[f"{p}.credits.available"] = conn.credits.available
+            meter = getattr(conn, "copy_meter", None)
+            if meter is not None:
+                out[f"{p}.copy.payload_copies"] = meter.payload_copies
+                out[f"{p}.copy.payload_bytes_copied"] = meter.payload_bytes_copied
+                out[f"{p}.copy.views_forwarded"] = meter.views_forwarded
+                out[f"{p}.copy.view_bytes_forwarded"] = meter.view_bytes_forwarded
+                out[f"{p}.copy.pins_outstanding"] = meter.pins_outstanding
+                out[f"{p}.copy.pin_violations"] = meter.pin_violations
         return out
 
     # ------------------------------------------------------------------

@@ -28,6 +28,13 @@ Corruption is modelled at the *detection* point: the link delivers a
 :class:`Corrupted` wrapper, and the receiving device discards it exactly as
 a real port discards a frame with a bad CRC — the sender's reliability
 machinery is what recovers the loss.
+
+Fault injection never copies or mutates payload bytes: duplication delivers
+the same payload object twice and :class:`Corrupted` wraps it untouched.
+Payload chunks may therefore carry live ``memoryview``s of sender memory
+(the zero-copy plane, :mod:`repro.hosts.memory`); the view-pinning rule
+guarantees the viewed range is unchanged for as long as any injected
+re-delivery could still dereference it.
 """
 
 from __future__ import annotations

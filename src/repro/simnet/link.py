@@ -16,6 +16,14 @@ An optional :class:`~repro.simnet.faults.ImpairmentModel` makes the wire
 lossy: messages may be dropped, duplicated, corrupted (delivered wrapped in
 :class:`~repro.simnet.faults.Corrupted`), or lost to a scheduled outage.
 Payloads with a truthy ``fault_exempt`` attribute bypass impairment.
+
+The wire is **zero-copy**: it forwards the payload object itself, never a
+copy of its bytes.  A duplicated frame delivers the *same* payload object
+twice and a corrupted frame wraps it unmodified, so a payload carrying a
+``memoryview`` of sender memory (see :mod:`repro.hosts.memory`) relies on
+the view-pinning aliasing rule — the sender keeps the range intact until
+the transport ack, and receivers discard duplicate sequence numbers before
+dereferencing payload bytes.
 """
 
 from __future__ import annotations

@@ -183,12 +183,13 @@ class RdmaDevice:
         seq = qp.next_seq()
         payload = wr.payload
         if payload is None and wr.opcode is not Opcode.RDMA_READ:
-            # DMA-fetch the payload from local registered memory.
+            # DMA-fetch the payload from local registered memory.  Like a
+            # real HCA the engine reads the memory in place — the wire
+            # carries a zero-copy view, valid under the RC contract that
+            # the application must not touch the buffer until completion.
             mr = self.pd.lookup_lkey(wr.sge.lkey)
             mr.require(wr.sge.addr, wr.sge.length, Access.LOCAL_READ)
-            off = mr.offset_of(wr.sge.addr)
-            data = mr.buffer.read(off, wr.sge.length)
-            payload = Chunk(0, wr.sge.length, data)
+            payload = Chunk(0, wr.sge.length, mr.view(wr.sge.addr, wr.sge.length))
         msg = DataMessage(
             src_qpn=qp.qpn,
             dst_qpn=qp.remote_qpn,
@@ -358,14 +359,16 @@ class RdmaDevice:
         if mr is None:
             raise RemoteAccessError(f"RDMA READ with unknown rkey {msg.rkey}")
         mr.require(msg.remote_addr, msg.read_len, Access.REMOTE_READ)
-        off = mr.offset_of(msg.remote_addr)
-        data = mr.buffer.read(off, msg.read_len)
+        # Served in place, like the DMA fetch: the response carries a view
+        # of responder memory that is only materialised at the requester's
+        # placement (a concurrent local write racing a remote READ is just
+        # as undefined here as on real hardware).
         resp = DataMessage(
             src_qpn=msg.dst_qpn,
             dst_qpn=msg.src_qpn,
             opcode=Opcode.RDMA_READ,
             seq=msg.seq,
-            payload=Chunk(0, msg.read_len, data),
+            payload=Chunk(0, msg.read_len, mr.view(msg.remote_addr, msg.read_len)),
             is_read_response=True,
             wr_id=msg.wr_id,
         )

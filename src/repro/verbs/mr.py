@@ -49,6 +49,15 @@ class MemoryRegion:
             raise RemoteAccessError(f"address 0x{addr:x} outside region")
         return addr - self.addr
 
+    def view(self, addr: int, nbytes: int) -> Optional[memoryview]:
+        """Zero-copy view of ``[addr, addr+nbytes)`` of the registered buffer.
+
+        The simulated HCA's DMA engine reads registered memory through
+        this (``None`` for synthetic buffers); bounds are checked via
+        :meth:`offset_of`, access rights by the caller's :meth:`require`.
+        """
+        return self.buffer.view(self.offset_of(addr), nbytes)
+
     def require(self, addr: int, nbytes: int, access: Access) -> None:
         """Raise unless [addr, addr+nbytes) is inside and *access* is allowed."""
         if not self.valid:

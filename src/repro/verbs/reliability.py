@@ -29,6 +29,13 @@ generation counter to invalidate superseded calendar entries (the DES
 kernel has no cancel).  The timer fires at the earliest possible deadline
 and re-arms itself against ``last_progress_ns``, so ACK arrivals never
 schedule anything — the hot path stays allocation-free.
+
+Retransmission replays the *original* message object, payload included —
+no bytes are copied into the window.  With the zero-copy payload plane
+(:mod:`repro.hosts.memory`) that payload may be a live ``memoryview`` of
+the sender's buffer; this is safe because a range stays pinned until the
+cumulative ACK that empties it from this window, and the pin is exactly
+what entitles the requester to replay identical bytes go-back-N style.
 """
 
 from __future__ import annotations

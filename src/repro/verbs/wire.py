@@ -44,7 +44,14 @@ CTRL_WIRE_BYTES_GUESS = 48
 
 @dataclass
 class DataMessage:
-    """One RC transport message."""
+    """One RC transport message.
+
+    ``payload`` is forwarded by reference end to end (the zero-copy plane):
+    for real-bytes runs the chunk usually wraps a ``memoryview`` of sender
+    memory that is only materialised at final placement.  Consumers that
+    need owned bytes (hashing, trace capture) must use
+    :meth:`~repro.hosts.memory.Chunk.materialize`.
+    """
 
     src_qpn: int
     dst_qpn: int
