@@ -18,12 +18,17 @@ bench-smoke:
 		--benchmark-only --benchmark-json=BENCH_simulator.json
 
 # Regression gate: rerun the simulator micro-benchmarks into a scratch
-# file and compare means against the committed baseline; fails when any
-# shared benchmark's mean regressed by more than 25%.
+# file and compare against the committed baseline.  Gates on the *min*
+# round (a real regression raises the floor; host time-sharing noise
+# mostly raises the ceiling) with a 40% threshold sized for the regime
+# swings observed on shared runners.  The real-bytes blast benchmarks
+# are advisory (host memcpy bandwidth, noisiest numbers); the
+# event-calendar benchmarks block.
 bench-compare:
 	REPRO_BENCH_QUALITY=smoke pytest benchmarks/test_simulator_performance.py \
 		--benchmark-only --benchmark-json=bench-current.json
-	python benchmarks/bench_compare.py BENCH_simulator.json bench-current.json
+	python benchmarks/bench_compare.py BENCH_simulator.json bench-current.json \
+		--stat min --threshold 0.40 --advisory 'test_real_bytes_*'
 
 bench-paper:
 	REPRO_BENCH_QUALITY=paper pytest benchmarks/ --benchmark-only

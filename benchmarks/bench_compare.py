@@ -7,15 +7,26 @@ Usage::
         [--threshold 0.25]
 
 Reads two ``--benchmark-json`` files, matches benchmarks by name, and
-fails (exit 1) if any benchmark's mean regressed by more than the
-threshold (default 25%) relative to the baseline.  Benchmarks present on
-only one side are reported but never fail the comparison — new
-benchmarks land before their baseline is recorded, and retired ones
-linger in old baselines.
+fails (exit 1) if any benchmark regressed by more than the threshold
+(default 25%) relative to the baseline.  Benchmarks present on only one
+side are reported but never fail the comparison — new benchmarks land
+before their baseline is recorded, and retired ones linger in old
+baselines.
 
-Meant for ``make bench-compare`` and the (non-blocking) CI job: absolute
-times on shared runners are noisy, so the threshold is generous and the
-job is advisory — a consistent failure across reruns is the signal.
+``--stat`` selects the statistic compared (default ``mean``).  On shared
+or virtualised hosts prefer ``--stat min``: the mean tracks the host's
+time-sharing regime (observed swinging 30-50% minute to minute on CI
+runners), while the best observed round tracks what the code can
+actually do — a real regression raises the floor, noise mostly raises
+the ceiling.  ``make bench-compare`` gates on ``min``.
+
+``--advisory PATTERN`` (repeatable, fnmatch syntax) marks matching
+benchmarks report-only: their regressions are printed but do not affect
+the exit status.  ``make bench-compare`` uses this for the real-bytes
+blast benchmarks (dominated by host memcpy bandwidth, the noisiest
+numbers on shared runners) while the event-calendar benchmarks stay
+blocking — the kernel is the part of the harness we actively optimise,
+so a calendar regression must fail CI, not hide in an advisory log.
 """
 
 from __future__ import annotations
@@ -23,12 +34,13 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from fnmatch import fnmatch
 
 
-def load_means(path: str) -> dict:
+def load_stats(path: str, stat: str) -> dict:
     with open(path) as fh:
         doc = json.load(fh)
-    return {b["name"]: b["stats"]["mean"] for b in doc.get("benchmarks", [])}
+    return {b["name"]: b["stats"][stat] for b in doc.get("benchmarks", [])}
 
 
 def main(argv=None) -> int:
@@ -37,12 +49,21 @@ def main(argv=None) -> int:
     parser.add_argument("current", help="fresh --benchmark-json output to check")
     parser.add_argument(
         "--threshold", type=float, default=0.25,
-        help="allowed relative mean regression before failing (default 0.25)",
+        help="allowed relative regression before failing (default 0.25)",
+    )
+    parser.add_argument(
+        "--stat", choices=("min", "mean", "median"), default="mean",
+        help="statistic to compare (use 'min' on noisy shared hosts)",
+    )
+    parser.add_argument(
+        "--advisory", action="append", default=[], metavar="PATTERN",
+        help="fnmatch pattern of benchmark names whose regressions are "
+             "reported but do not fail the comparison (repeatable)",
     )
     args = parser.parse_args(argv)
 
-    baseline = load_means(args.baseline)
-    current = load_means(args.current)
+    baseline = load_stats(args.baseline, args.stat)
+    current = load_stats(args.current, args.stat)
     if not baseline:
         print(f"bench-compare: no benchmarks in baseline {args.baseline}", file=sys.stderr)
         return 2
@@ -51,6 +72,7 @@ def main(argv=None) -> int:
         return 2
 
     regressions = []
+    advisory_regressions = []
     width = max(len(n) for n in sorted(set(baseline) | set(current)))
     print(f"{'benchmark':<{width}}  {'baseline':>10}  {'current':>10}  {'ratio':>7}")
     for name in sorted(set(baseline) | set(current)):
@@ -61,12 +83,21 @@ def main(argv=None) -> int:
             print(f"{name:<{width}}  {baseline[name] * 1e3:>8.2f}ms  {'-':>10}  {'gone':>7}")
             continue
         ratio = current[name] / baseline[name]
-        flag = "  <-- regression" if ratio > 1.0 + args.threshold else ""
+        advisory = any(fnmatch(name, p) for p in args.advisory)
+        if ratio > 1.0 + args.threshold:
+            flag = "  <-- regression (advisory)" if advisory else "  <-- regression"
+        else:
+            flag = ""
         print(f"{name:<{width}}  {baseline[name] * 1e3:>8.2f}ms  "
               f"{current[name] * 1e3:>8.2f}ms  {ratio:>6.2f}x{flag}")
         if ratio > 1.0 + args.threshold:
-            regressions.append((name, ratio))
+            (advisory_regressions if advisory else regressions).append((name, ratio))
 
+    if advisory_regressions:
+        print(
+            f"\nbench-compare: {len(advisory_regressions)} advisory benchmark(s) "
+            f"regressed more than {args.threshold:.0%} (not failing the gate)",
+        )
     if regressions:
         worst = max(r for _, r in regressions)
         print(
@@ -75,7 +106,7 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
         return 1
-    print(f"\nbench-compare: all shared benchmarks within {args.threshold:.0%} of baseline")
+    print(f"\nbench-compare: all blocking benchmarks within {args.threshold:.0%} of baseline")
     return 0
 
 

@@ -31,6 +31,95 @@ def test_event_calendar_throughput(benchmark):
     assert events >= 20_000
 
 
+def test_wheel_fixed_delay_batches(benchmark):
+    """Fixed-delay regime: 64 lockstep processes on one common period.
+
+    The dominant workload shape (link delivery at the memoized
+    transmission time): every instant carries a 64-entry same-instant
+    batch, all placements land in level-0 wheel slots, and the whole
+    batch costs one heap operation.
+    """
+
+    def run():
+        sim = Simulator()
+
+        def worker():
+            for _ in range(300):
+                yield sim.timeout(1000)
+
+        for _ in range(64):
+            sim.process(worker())
+        sim.run()
+        stats = sim.calendar_stats()
+        assert stats["max_batch"] >= 64
+        return sim.events_executed
+
+    events = benchmark(run)
+    assert events >= 64 * 300
+
+
+def test_overflow_heap_mixed_delays(benchmark):
+    """Mixed-delay regime: deterministic spread across L0/L1/overflow.
+
+    Delays are drawn uniformly in [0, ~33.5 ms) — twice the wheel horizon
+    — so placements split between wheel slots, level-1 buckets (with
+    their cascades) and the overflow heap, the worst case for the wheel
+    relative to a flat heap.
+    """
+
+    def run():
+        sim = Simulator()
+
+        def worker(seed):
+            state = seed
+            for _ in range(2000):
+                state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+                yield sim.timeout(state % 33_554_432)
+
+        for s in (1, 2, 3, 4):
+            sim.process(worker(s))
+        sim.run()
+        stats = sim.calendar_stats()
+        assert stats["l1_inserts"] > 0 and stats["overflow_inserts"] > 0
+        return sim.events_executed
+
+    events = benchmark(run)
+    assert events >= 4 * 2000
+
+
+def test_retransmit_timer_churn(benchmark):
+    """Cancel-heavy regime: retransmit timers that almost always go stale.
+
+    Models ``verbs/reliability.py``: every message arms a 500 µs timer,
+    the ACK lands ~100 ns later, and the timer eventually fires as a
+    stale no-op (generation check).  The calendar carries thousands of
+    pending far-future timers while near-future traffic churns through —
+    the flat heap paid O(log n) on that standing population for every
+    operation.
+    """
+
+    def run():
+        sim = Simulator()
+        acked = [0]
+
+        def on_timer(gen):
+            if gen >= acked[0]:  # pragma: no cover - timers are always stale
+                raise AssertionError("retransmit fired before its ack")
+
+        def sender():
+            for i in range(10_000):
+                sim.call_in(500_000, on_timer, i)
+                yield sim.timeout(100)  # the "ack"; timer i is now stale
+                acked[0] = i + 1
+
+        sim.process(sender())
+        sim.run()
+        return sim.events_executed
+
+    events = benchmark(run)
+    assert events >= 20_000
+
+
 def test_blast_simulation_rate(benchmark):
     """End-to-end cost of simulating one blast message (full stack)."""
 

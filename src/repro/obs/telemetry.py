@@ -62,6 +62,8 @@ class Telemetry:
         self._spans: Optional[List[MessageSpan]] = None
         self._finished = False
         self.registry.add_collector(self._collect_connections)
+        if hasattr(sim, "calendar_stats"):
+            self.registry.add_collector(self._collect_kernel)
         self.conns_opened = self.registry.counter(
             "conns.opened", "EXS connections registered with telemetry")
 
@@ -200,6 +202,28 @@ class Telemetry:
                 out[f"{p}.copy.view_bytes_forwarded"] = meter.view_bytes_forwarded
                 out[f"{p}.copy.pins_outstanding"] = meter.pins_outstanding
                 out[f"{p}.copy.pin_violations"] = meter.pin_violations
+        return out
+
+    def _collect_kernel(self) -> Dict[str, float]:
+        """Event-calendar kernel counters, from :meth:`Simulator.calendar_stats`.
+
+        Pure reads — sampling never perturbs the calendar.  Non-numeric
+        fields (``backend``) and absent ones (``next_time`` on an empty
+        calendar) are skipped; two derived rates are added: mean events per
+        same-instant batch and the timeout-freelist hit rate.
+        """
+        stats = self.sim.calendar_stats()
+        out: Dict[str, float] = {}
+        for key, value in stats.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                out[f"kernel.{key}"] = value
+        batches = stats.get("batches", 0)
+        if batches:
+            out["kernel.events_per_batch"] = stats["batched_events"] / batches
+        t_allocs = stats.get("timeout_allocs", 0)
+        t_reuses = stats.get("timeout_reuses", 0)
+        if t_allocs + t_reuses:
+            out["kernel.timeout_freelist_hit_rate"] = t_reuses / (t_allocs + t_reuses)
         return out
 
     # ------------------------------------------------------------------

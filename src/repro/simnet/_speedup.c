@@ -1,0 +1,567 @@
+/* _speedup.c — optional CPython accelerator for the timing-wheel kernel.
+ *
+ * Compiled on demand by `_accel.py` (plain `cc -O2 -shared -fPIC`, no
+ * build-system dependency); when the compile or the `configure()`
+ * handshake fails, the kernel silently keeps its pure-Python paths,
+ * which are semantically identical (property-tested in
+ * tests/simnet/test_timing_wheel.py).
+ *
+ * Two entry points are bound per Simulator instance:
+ *
+ *   bind_timeout(sim)   -> C replacement for Simulator._timeout_wheel
+ *                          (the stash + register-park fast path; every
+ *                          guard miss calls the Python slow path)
+ *   bind_reg_drain(sim) -> C drain of the *register regime* used by
+ *                          _core.drain_fifo: pops the one-entry register
+ *                          until it is empty, including the
+ *                          `yield sim.timeout(d)` chain spin.
+ *
+ * Both read the same `__slots__` the Python code reads, through member
+ * offsets captured at configure() time, and perform every store the
+ * Python fast paths perform, in the same order — bit-identical event
+ * ordering is the contract, speed is just fewer interpreter dispatches.
+ *
+ * The refcount-based Timeout recycling translates directly: the Python
+ * spin's `getrefcount(e) == 2` (frame local + getrefcount argument)
+ * becomes `Py_REFCNT(e) == 1` here, because this code owns exactly one
+ * strong reference to the dispatched event at the check site.
+ */
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <structmember.h>
+
+/* ------------------------------------------------------------------ */
+/* configured state                                                    */
+/* ------------------------------------------------------------------ */
+static struct {
+    int configured;
+    PyTypeObject *sim_type;
+    PyTypeObject *timeout_type;
+    PyTypeObject *process_type;
+    PyTypeObject *cbe_type;
+    /* Simulator slots */
+    Py_ssize_t o_stash, o_reg_free, o_single, o_single_when, o_now;
+    Py_ssize_t o_finish, o_cbe_pool, o_creg_n;
+    /* Event/Timeout slots (resolved on the Timeout type, through the MRO) */
+    Py_ssize_t o_ev_sim, o_ev_cb1, o_ev_cbs, o_ev_value, o_to_delay;
+    /* Process slot */
+    Py_ssize_t o_pr_send;
+    /* CallbackEntry slots */
+    Py_ssize_t o_cbe_fn, o_cbe_arg;
+    long cbe_pool_max;
+    PyObject *processed;    /* _core._PROCESSED sentinel */
+    PyObject *timeout_slow; /* Simulator._timeout_wheel_slow (plain function) */
+    PyObject *wait_on;      /* Process._wait_on (plain function) */
+    PyObject *str_run;      /* interned "_run" */
+} S;
+
+#define SLOT(ob, off) (*(PyObject **)((char *)(ob) + (off)))
+
+/* Replace the object in a slot with a reference we own; drops the old one. */
+static inline void
+store_slot(PyObject *ob, Py_ssize_t off, PyObject *newref)
+{
+    PyObject **p = (PyObject **)((char *)ob + off);
+    PyObject *old = *p;
+    *p = newref;
+    Py_XDECREF(old);
+}
+
+static int
+member_offset(PyObject *type, const char *name, Py_ssize_t *out)
+{
+    PyObject *d = PyObject_GetAttrString(type, name);
+    if (d == NULL)
+        return -1;
+    if (!Py_IS_TYPE(d, &PyMemberDescr_Type)) {
+        Py_DECREF(d);
+        PyErr_Format(PyExc_TypeError, "%s is not a __slots__ member", name);
+        return -1;
+    }
+    PyMemberDef *m = ((PyMemberDescrObject *)d)->d_member;
+    if (m->type != T_OBJECT_EX) {
+        Py_DECREF(d);
+        PyErr_Format(PyExc_TypeError, "%s is not an object slot", name);
+        return -1;
+    }
+    *out = m->offset;
+    Py_DECREF(d);
+    return 0;
+}
+
+/* ------------------------------------------------------------------ */
+/* configure                                                           */
+/* ------------------------------------------------------------------ */
+static PyObject *
+configure(PyObject *Py_UNUSED(mod), PyObject *ns)
+{
+    if (!PyDict_Check(ns)) {
+        PyErr_SetString(PyExc_TypeError, "configure() expects a dict");
+        return NULL;
+    }
+#define GET(name)                                                       \
+    PyObject *name = PyDict_GetItemString(ns, #name);                   \
+    if (name == NULL) {                                                 \
+        PyErr_SetString(PyExc_KeyError, #name);                         \
+        return NULL;                                                    \
+    }
+    GET(Simulator) GET(Timeout) GET(Process) GET(CallbackEntry)
+    GET(processed) GET(timeout_slow) GET(wait_on) GET(cbe_pool_max)
+#undef GET
+    if (!PyType_Check(Simulator) || !PyType_Check(Timeout) ||
+        !PyType_Check(Process) || !PyType_Check(CallbackEntry)) {
+        PyErr_SetString(PyExc_TypeError, "expected type objects");
+        return NULL;
+    }
+    if (member_offset(Simulator, "_stash", &S.o_stash) < 0 ||
+        member_offset(Simulator, "_reg_free", &S.o_reg_free) < 0 ||
+        member_offset(Simulator, "_single", &S.o_single) < 0 ||
+        member_offset(Simulator, "_single_when", &S.o_single_when) < 0 ||
+        member_offset(Simulator, "_now", &S.o_now) < 0 ||
+        member_offset(Simulator, "_proc_finish", &S.o_finish) < 0 ||
+        member_offset(Simulator, "_cbe_pool", &S.o_cbe_pool) < 0 ||
+        member_offset(Simulator, "_creg_n", &S.o_creg_n) < 0 ||
+        member_offset(Timeout, "sim", &S.o_ev_sim) < 0 ||
+        member_offset(Timeout, "_cb1", &S.o_ev_cb1) < 0 ||
+        member_offset(Timeout, "_cbs", &S.o_ev_cbs) < 0 ||
+        member_offset(Timeout, "_value", &S.o_ev_value) < 0 ||
+        member_offset(Timeout, "delay", &S.o_to_delay) < 0 ||
+        member_offset(Process, "send", &S.o_pr_send) < 0 ||
+        member_offset(CallbackEntry, "fn", &S.o_cbe_fn) < 0 ||
+        member_offset(CallbackEntry, "arg", &S.o_cbe_arg) < 0)
+        return NULL;
+    S.cbe_pool_max = PyLong_AsLong(cbe_pool_max);
+    if (S.cbe_pool_max == -1 && PyErr_Occurred())
+        return NULL;
+    S.sim_type = (PyTypeObject *)Py_NewRef(Simulator);
+    S.timeout_type = (PyTypeObject *)Py_NewRef(Timeout);
+    S.process_type = (PyTypeObject *)Py_NewRef(Process);
+    S.cbe_type = (PyTypeObject *)Py_NewRef(CallbackEntry);
+    S.processed = Py_NewRef(processed);
+    S.timeout_slow = Py_NewRef(timeout_slow);
+    S.wait_on = Py_NewRef(wait_on);
+    S.str_run = PyUnicode_InternFromString("_run");
+    if (S.str_run == NULL)
+        return NULL;
+    S.configured = 1;
+    Py_RETURN_NONE;
+}
+
+/* ------------------------------------------------------------------ */
+/* timeout fast path                                                   */
+/* ------------------------------------------------------------------ */
+static PyObject *
+accel_timeout(PyObject *sim, PyObject *const *args, Py_ssize_t nargs,
+              PyObject *kwnames)
+{
+    PyObject *delay = NULL, *value = Py_None;
+    if (nargs > 2) {
+        PyErr_SetString(PyExc_TypeError,
+                        "timeout() takes at most 2 positional arguments");
+        return NULL;
+    }
+    if (nargs >= 1)
+        delay = args[0];
+    if (nargs == 2)
+        value = args[1];
+    if (kwnames != NULL) {
+        Py_ssize_t nk = PyTuple_GET_SIZE(kwnames);
+        for (Py_ssize_t i = 0; i < nk; i++) {
+            PyObject *name = PyTuple_GET_ITEM(kwnames, i);
+            PyObject *v = args[nargs + i];
+            if (PyUnicode_CompareWithASCIIString(name, "value") == 0) {
+                if (nargs == 2) {
+                    PyErr_SetString(PyExc_TypeError,
+                                    "timeout() got multiple values for 'value'");
+                    return NULL;
+                }
+                value = v;
+            }
+            else if (PyUnicode_CompareWithASCIIString(name, "delay") == 0) {
+                if (delay != NULL) {
+                    PyErr_SetString(PyExc_TypeError,
+                                    "timeout() got multiple values for 'delay'");
+                    return NULL;
+                }
+                delay = v;
+            }
+            else {
+                PyErr_Format(PyExc_TypeError,
+                             "timeout() got an unexpected keyword argument %R",
+                             name);
+                return NULL;
+            }
+        }
+    }
+    if (delay == NULL) {
+        PyErr_SetString(PyExc_TypeError,
+                        "timeout() missing required argument: 'delay'");
+        return NULL;
+    }
+    /* Fast path — mirrors Simulator._timeout_wheel: recycled timeout in
+     * the stash, exact non-negative int delay, empty calendar. */
+    PyObject *t = SLOT(sim, S.o_stash);
+    if (t != NULL && t != Py_None && PyLong_CheckExact(delay) &&
+        SLOT(sim, S.o_reg_free) == Py_True &&
+        SLOT(sim, S.o_single) == Py_None) {
+        long long dv = PyLong_AsLongLong(delay);
+        if (dv == -1 && PyErr_Occurred()) {
+            PyErr_Clear(); /* > 63-bit delay: let the slow path handle it */
+        }
+        else if (dv >= 0) {
+            PyObject *nowo = SLOT(sim, S.o_now);
+            long long nv = nowo == NULL ? -1 : PyLong_AsLongLong(nowo);
+            if (nv == -1 && PyErr_Occurred())
+                PyErr_Clear();
+            else if (nv >= 0 && dv <= LLONG_MAX - nv) {
+                PyObject *when = PyLong_FromLongLong(nv + dv);
+                if (when == NULL)
+                    return NULL;
+                /* pop the stash: the slot's reference becomes ours */
+                SLOT(sim, S.o_stash) = Py_NewRef(Py_None);
+                store_slot(t, S.o_to_delay, Py_NewRef(delay));
+                store_slot(t, S.o_ev_value, Py_NewRef(value));
+                store_slot(t, S.o_ev_cb1, Py_NewRef(Py_None));
+                Py_INCREF(t);
+                store_slot(sim, S.o_single, t);
+                store_slot(sim, S.o_single_when, when);
+                return t;
+            }
+        }
+    }
+    PyObject *cargs[3] = {sim, delay, value};
+    return PyObject_Vectorcall(S.timeout_slow, cargs, 3, NULL);
+}
+
+/* ------------------------------------------------------------------ */
+/* register-regime drain                                               */
+/* ------------------------------------------------------------------ */
+
+/* Run and clear e._cbs (`for fn in cbs: fn(e)` on a stolen list). */
+static int
+run_cbs(PyObject *e)
+{
+    PyObject *cbs = SLOT(e, S.o_ev_cbs);
+    if (cbs == NULL) {
+        PyErr_SetString(PyExc_AttributeError, "_cbs");
+        return -1;
+    }
+    if (cbs == Py_None)
+        return 0;
+    Py_INCREF(cbs);
+    store_slot(e, S.o_ev_cbs, Py_NewRef(Py_None));
+    PyObject *it = PyObject_GetIter(cbs);
+    Py_DECREF(cbs);
+    if (it == NULL)
+        return -1;
+    PyObject *fn;
+    while ((fn = PyIter_Next(it)) != NULL) {
+        PyObject *r = PyObject_CallOneArg(fn, e);
+        Py_DECREF(fn);
+        if (r == NULL) {
+            Py_DECREF(it);
+            return -1;
+        }
+        Py_DECREF(r);
+    }
+    Py_DECREF(it);
+    return PyErr_Occurred() ? -1 : 0;
+}
+
+/* Consume our reference to a dispatched event: stash it when provably
+ * external-free (the Python spin's `if getrefcount(e) == 2`), else drop. */
+static inline void
+recycle_register(PyObject *sim, PyObject *e)
+{
+    if (Py_REFCNT(e) == 1) {
+        PyObject *old = SLOT(sim, S.o_stash);
+        SLOT(sim, S.o_stash) = e; /* steals our reference */
+        Py_XDECREF(old);
+    }
+    else {
+        Py_DECREF(e);
+    }
+}
+
+/* The generator raised (or returned): normalize the exception, run the
+ * process-finish protocol exactly as `except BaseException as exc:
+ * finish(cb, exc)` would, with the exception installed as "currently
+ * handled" so secondary raises chain their __context__. */
+static int
+finish_process(PyObject *sim, PyObject *cb, PyObject *e)
+{
+    PyObject *et, *ev, *tb;
+    PyErr_Fetch(&et, &ev, &tb);
+    if (et == NULL) {
+        PyErr_SetString(PyExc_SystemError, "send failed without an exception");
+        return -1;
+    }
+    PyErr_NormalizeException(&et, &ev, &tb);
+    if (tb != NULL)
+        PyException_SetTraceback(ev, tb);
+#if PY_VERSION_HEX >= 0x030B0000
+    PyObject *prev = PyErr_GetHandledException();
+    PyErr_SetHandledException(ev);
+#else
+    PyObject *pt, *pv, *ptb;
+    PyErr_GetExcInfo(&pt, &pv, &ptb);
+    PyErr_SetExcInfo(Py_NewRef(et), Py_NewRef(ev),
+                     tb ? Py_NewRef(tb) : NULL);
+#endif
+    int ok = -1;
+    PyObject *fin = SLOT(sim, S.o_finish);
+    if (fin == NULL) {
+        PyErr_SetString(PyExc_AttributeError, "_proc_finish");
+    }
+    else {
+        PyObject *fargs[2] = {cb, ev};
+        PyObject *r = PyObject_Vectorcall(fin, fargs, 2, NULL);
+        if (r != NULL) {
+            Py_DECREF(r);
+            if (run_cbs(e) == 0)
+                ok = 0;
+        }
+    }
+#if PY_VERSION_HEX >= 0x030B0000
+    PyErr_SetHandledException(prev);
+    Py_XDECREF(prev);
+#else
+    PyErr_SetExcInfo(pt, pv, ptb);
+#endif
+    Py_DECREF(et);
+    Py_DECREF(ev);
+    Py_XDECREF(tb);
+    return ok;
+}
+
+static PyObject *
+accel_reg_drain(PyObject *sim, PyObject *Py_UNUSED(ignored))
+{
+    long long count = 0;
+    for (;;) {
+        PyObject *cb = NULL;
+        PyObject *e = SLOT(sim, S.o_single);
+        if (e == NULL || e == Py_None)
+            break;
+        /* pop the register (the slot's reference becomes ours) */
+        SLOT(sim, S.o_single) = Py_NewRef(Py_None);
+        PyObject *w = SLOT(sim, S.o_single_when);
+        if (w == NULL) {
+            PyErr_SetString(PyExc_AttributeError, "_single_when");
+            goto err_e;
+        }
+        store_slot(sim, S.o_now, Py_NewRef(w));
+        PyTypeObject *cls = Py_TYPE(e);
+        if (cls == S.timeout_type) {
+            cb = SLOT(e, S.o_ev_cb1);
+            if (cb == NULL) {
+                PyErr_SetString(PyExc_AttributeError, "_cb1");
+                goto err_e;
+            }
+            Py_INCREF(cb);
+            store_slot(e, S.o_ev_cb1, Py_NewRef(S.processed));
+            if (Py_TYPE(cb) == S.process_type) {
+                /* Chain spin: keep driving this process while each resume
+                 * parks a fresh timeout in the register (the dominant
+                 * `yield sim.timeout(...)` pattern). */
+                for (;;) {
+                    count++;
+                    PyObject *send = SLOT(cb, S.o_pr_send);
+                    PyObject *val = SLOT(e, S.o_ev_value);
+                    if (send == NULL || val == NULL) {
+                        PyErr_SetString(PyExc_AttributeError,
+                                        send == NULL ? "send" : "_value");
+                        goto err_e_cb;
+                    }
+                    Py_INCREF(send);
+                    Py_INCREF(val);
+                    PyObject *nxt = PyObject_CallOneArg(send, val);
+                    Py_DECREF(send);
+                    Py_DECREF(val);
+                    if (nxt == NULL) {
+                        if (finish_process(sim, cb, e) < 0)
+                            goto err_e_cb;
+                        recycle_register(sim, e);
+                        Py_DECREF(cb);
+                        break;
+                    }
+                    if (Py_TYPE(nxt) == S.timeout_type &&
+                        SLOT(nxt, S.o_ev_cb1) == Py_None &&
+                        SLOT(nxt, S.o_ev_sim) == sim) {
+                        /* wire: nxt._cb1 = cb */
+                        store_slot(nxt, S.o_ev_cb1, Py_NewRef(cb));
+                        if (run_cbs(e) < 0) {
+                            Py_DECREF(nxt);
+                            goto err_e_cb;
+                        }
+                        recycle_register(sim, e);
+                        /* spin continues iff nxt still sits in the register
+                         * (an e._cbs callback may have migrated it) */
+                        if (SLOT(sim, S.o_single) == nxt) {
+                            e = SLOT(sim, S.o_single); /* take the slot ref */
+                            SLOT(sim, S.o_single) = Py_NewRef(Py_None);
+                            Py_DECREF(nxt); /* drop the call-result ref */
+                            w = SLOT(sim, S.o_single_when);
+                            if (w == NULL) {
+                                PyErr_SetString(PyExc_AttributeError,
+                                                "_single_when");
+                                goto err_e_cb;
+                            }
+                            store_slot(sim, S.o_now, Py_NewRef(w));
+                            store_slot(e, S.o_ev_cb1, Py_NewRef(S.processed));
+                            continue;
+                        }
+                        Py_DECREF(nxt);
+                        Py_DECREF(cb);
+                        break;
+                    }
+                    /* generic yield target: cb._wait_on(nxt) */
+                    {
+                        PyObject *wargs[2] = {cb, nxt};
+                        PyObject *r =
+                            PyObject_Vectorcall(S.wait_on, wargs, 2, NULL);
+                        Py_DECREF(nxt);
+                        if (r == NULL)
+                            goto err_e_cb;
+                        Py_DECREF(r);
+                    }
+                    if (run_cbs(e) < 0)
+                        goto err_e_cb;
+                    recycle_register(sim, e);
+                    Py_DECREF(cb);
+                    break;
+                }
+            }
+            else {
+                /* plain-callback (or no-callback) timeout */
+                count++;
+                if (cb != Py_None) {
+                    PyObject *r = PyObject_CallOneArg(cb, e);
+                    if (r == NULL)
+                        goto err_e_cb;
+                    Py_DECREF(r);
+                }
+                if (run_cbs(e) < 0)
+                    goto err_e_cb;
+                recycle_register(sim, e);
+                Py_DECREF(cb);
+            }
+        }
+        else if (cls == S.cbe_type) {
+            count++;
+            PyObject *fn = SLOT(e, S.o_cbe_fn);
+            PyObject *arg = SLOT(e, S.o_cbe_arg);
+            if (fn == NULL || arg == NULL) {
+                PyErr_SetString(PyExc_AttributeError,
+                                fn == NULL ? "fn" : "arg");
+                goto err_e;
+            }
+            Py_INCREF(fn);
+            Py_INCREF(arg);
+            PyObject *r = PyObject_CallOneArg(fn, arg);
+            Py_DECREF(fn);
+            Py_DECREF(arg);
+            if (r == NULL)
+                goto err_e;
+            Py_DECREF(r);
+            PyObject *pool = SLOT(sim, S.o_cbe_pool);
+            if (pool != NULL && PyList_CheckExact(pool) &&
+                PyList_GET_SIZE(pool) < S.cbe_pool_max) {
+                store_slot(e, S.o_cbe_fn, Py_NewRef(Py_None));
+                store_slot(e, S.o_cbe_arg, Py_NewRef(Py_None));
+                if (PyList_Append(pool, e) < 0)
+                    goto err_e;
+            }
+            Py_DECREF(e);
+        }
+        else {
+            count++;
+            PyObject *r = PyObject_CallMethodNoArgs(e, S.str_run);
+            if (r == NULL)
+                goto err_e;
+            Py_DECREF(r);
+            Py_DECREF(e);
+        }
+        continue;
+    err_e_cb:
+        Py_DECREF(cb);
+    err_e:
+        Py_DECREF(e);
+        goto fail;
+    }
+    return PyLong_FromLongLong(count);
+
+fail:;
+    /* Record the partial count (the interrupted event included, exactly
+     * like the pure loop's `n += 1`-before-dispatch) for drain_fifo's
+     * `except` handler, without disturbing the in-flight exception. */
+    {
+        PyObject *et, *ev, *tb;
+        PyErr_Fetch(&et, &ev, &tb);
+        PyObject *cn = PyLong_FromLongLong(count);
+        if (cn != NULL)
+            store_slot(sim, S.o_creg_n, cn);
+        else
+            PyErr_Clear();
+        PyErr_Restore(et, ev, tb);
+    }
+    return NULL;
+}
+
+/* ------------------------------------------------------------------ */
+/* per-instance binding                                                */
+/* ------------------------------------------------------------------ */
+static PyMethodDef timeout_md = {
+    "timeout", (PyCFunction)(void (*)(void))accel_timeout,
+    METH_FASTCALL | METH_KEYWORDS,
+    "C fast path for Simulator.timeout (timing-wheel FIFO backend)."};
+
+static PyMethodDef reg_drain_md = {
+    "_creg_drain", (PyCFunction)accel_reg_drain, METH_NOARGS,
+    "C drain of the one-entry register regime for _core.drain_fifo."};
+
+static PyObject *
+bind_checked(PyObject *sim, PyMethodDef *md)
+{
+    if (!S.configured) {
+        PyErr_SetString(PyExc_RuntimeError, "configure() has not run");
+        return NULL;
+    }
+    if (!PyObject_TypeCheck(sim, S.sim_type)) {
+        PyErr_SetString(PyExc_TypeError, "expected a Simulator");
+        return NULL;
+    }
+    return PyCFunction_New(md, sim);
+}
+
+static PyObject *
+bind_timeout(PyObject *Py_UNUSED(mod), PyObject *sim)
+{
+    return bind_checked(sim, &timeout_md);
+}
+
+static PyObject *
+bind_reg_drain(PyObject *Py_UNUSED(mod), PyObject *sim)
+{
+    return bind_checked(sim, &reg_drain_md);
+}
+
+static PyMethodDef module_methods[] = {
+    {"configure", configure, METH_O,
+     "Capture types, slot offsets and helpers from the pure kernel."},
+    {"bind_timeout", bind_timeout, METH_O,
+     "Return a C `timeout` callable bound to one Simulator."},
+    {"bind_reg_drain", bind_reg_drain, METH_O,
+     "Return a C register-drain callable bound to one Simulator."},
+    {NULL, NULL, 0, NULL}};
+
+static struct PyModuleDef speedup_module = {
+    PyModuleDef_HEAD_INIT, "_speedup",
+    "On-demand-compiled accelerator for the timing-wheel kernel.", -1,
+    module_methods};
+
+PyMODINIT_FUNC
+PyInit__speedup(void)
+{
+    return PyModule_Create(&speedup_module);
+}

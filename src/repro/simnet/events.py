@@ -12,12 +12,22 @@ mirror a small, well-understood subset of the SimPy event model:
 
 Events carry a value (delivered to waiters) or an exception (re-raised in
 waiting processes).
+
+Callback storage is split for the kernel's benefit: the overwhelmingly
+common case is exactly one waiter, held in the ``_cb1`` slot (no list
+allocation); additional waiters overflow into the lazily created ``_cbs``
+list.  Once the event has been dispatched ``_cb1`` holds a process-wide
+sentinel — :attr:`processed` is a cheap identity check and a second
+dispatch is a silent no-op, as in the list-based representation it
+replaces.  The :attr:`callbacks` property keeps the old list-shaped view
+for diagnostics.
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, List, Optional, Sequence
 
+from ._core import _PROCESSED
 from .kernel import SimulationError, Simulator
 
 __all__ = ["Event", "Timeout", "AllOf", "AnyOf", "Signal"]
@@ -34,17 +44,19 @@ class Event:
 
     Events (and their subclasses) use ``__slots__``: they are the most
     numerous objects in a simulation and dropping the per-instance dict
-    measurably cuts both allocation time and memory traffic.
+    measurably cuts both allocation time and memory traffic.  ``_seq`` is
+    owned by the kernel — the calendar's FIFO tie-break key, assigned when
+    the event enters the wheel structures.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled")
+    __slots__ = ("sim", "_cb1", "_cbs", "_value", "_ok", "_seq")
 
     def __init__(self, sim: Simulator) -> None:
         self.sim = sim
-        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._cb1: Optional[Callable[["Event"], None]] = None
+        self._cbs: Optional[List[Callable[["Event"], None]]] = None
         self._value: Any = _PENDING
         self._ok: Optional[bool] = None
-        self._scheduled = False
 
     # -- state ----------------------------------------------------------
     @property
@@ -55,7 +67,24 @@ class Event:
     @property
     def processed(self) -> bool:
         """True once callbacks have run."""
-        return self.callbacks is None
+        return self._cb1 is _PROCESSED
+
+    @property
+    def callbacks(self) -> Optional[List[Callable[["Event"], None]]]:
+        """List-shaped view of the pending callbacks (``None`` once processed).
+
+        Diagnostic/back-compat accessor: mutating the returned list has no
+        effect — use :meth:`add_callback`.
+        """
+        cb = self._cb1
+        if cb is _PROCESSED:
+            return None
+        out: List[Callable[["Event"], None]] = []
+        if cb is not None:
+            out.append(cb)
+        if self._cbs:
+            out.extend(self._cbs)
+        return out
 
     @property
     def ok(self) -> Optional[bool]:
@@ -64,7 +93,7 @@ class Event:
 
     def result(self) -> Any:
         """Return the event's value, raising its exception if it failed."""
-        if not self.triggered:
+        if self._value is _PENDING:
             raise SimulationError("event has not triggered yet")
         if not self._ok:
             raise self._value
@@ -73,7 +102,7 @@ class Event:
     # -- triggering -----------------------------------------------------
     def succeed(self, value: Any = None, delay: int = 0) -> "Event":
         """Trigger the event successfully with *value* after *delay* ns."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError("event already triggered")
         self._value = value
         self._ok = True
@@ -82,7 +111,7 @@ class Event:
 
     def fail(self, exc: BaseException, delay: int = 0) -> "Event":
         """Trigger the event with an exception after *delay* ns."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError("event already triggered")
         if not isinstance(exc, BaseException):
             raise SimulationError("fail() requires an exception instance")
@@ -94,17 +123,29 @@ class Event:
     # -- callbacks ------------------------------------------------------
     def add_callback(self, fn: Callable[["Event"], None]) -> None:
         """Run ``fn(event)`` when the event fires (immediately if already fired)."""
-        if self.callbacks is None:
+        cb = self._cb1
+        if cb is None:
+            self._cb1 = fn
+        elif cb is _PROCESSED:
             # Already processed: schedule an immediate call so that ordering
             # stays calendar-driven.
             self.sim.call_in(0, fn, self)
         else:
-            self.callbacks.append(fn)
+            cbs = self._cbs
+            if cbs is None:
+                self._cbs = [fn]
+            else:
+                cbs.append(fn)
 
     def _run(self) -> None:
-        callbacks, self.callbacks = self.callbacks, None
-        if callbacks:
-            for fn in callbacks:
+        cb = self._cb1
+        self._cb1 = _PROCESSED
+        if cb is not None:
+            cb(self)
+        cbs = self._cbs
+        if cbs is not None:
+            self._cbs = None
+            for fn in cbs:
                 fn(self)
 
 
@@ -119,12 +160,14 @@ class Timeout(Event):
     __slots__ = ("delay",)
 
     def __init__(self, sim: Simulator, delay: int, value: Any = None) -> None:
-        super().__init__(sim)
+        self.sim = sim
+        self._cb1 = None
+        self._cbs = None
+        self._ok = True
         if delay < 0:
             raise SimulationError(f"negative timeout: {delay}")
         self.delay = delay
         self._value = value
-        self._ok = True
         sim.schedule(self, delay)
 
 

@@ -9,13 +9,22 @@ the generator's return value, so processes can wait on each other.
 
 This is the cooperative-multitasking layer every actor in the simulated
 system (HCA engines, EXS progress threads, application code) is built on.
+
+Kernel contract: a process *is its own resume callback* — waiting
+registers the process object itself (``__call__`` drives the generator),
+and ``send``/``throw`` are the generator's bound methods cached as
+instance attributes.  The kernel's dispatch loop exploits both: when a
+:class:`~repro.simnet.events.Timeout` fires for a waiting process it
+calls ``process.send(value)`` directly and wires the next yielded timeout
+in place, skipping the whole callback protocol on the dominant
+``yield sim.timeout(...)`` path.
 """
 
 from __future__ import annotations
 
 from typing import Any, Iterator
 
-from .events import Event
+from .events import Event, _PENDING
 from .kernel import SimulationError, Simulator
 
 __all__ = ["Process", "Interrupt"]
@@ -29,10 +38,29 @@ class Interrupt(Exception):
         self.cause = cause
 
 
+def _finish_process(proc: "Process", exc: BaseException) -> None:
+    """Terminate *proc* according to how its generator ended (cold path).
+
+    ``StopIteration`` is a normal return, an escaped :class:`Interrupt` is
+    treated as normal termination with no value (the idiomatic way to stop
+    a server loop), anything else fails the process event.  A process that
+    already terminated (e.g. resumed once more by a stale timeout after an
+    interrupt) absorbs the outcome silently.
+    """
+    if proc._value is not _PENDING:
+        return
+    if isinstance(exc, StopIteration):
+        proc.succeed(exc.value)
+    elif isinstance(exc, Interrupt):
+        proc.succeed(None)
+    else:
+        proc.fail(exc)
+
+
 class Process(Event):
     """A running simulation process (also an event: its own completion)."""
 
-    __slots__ = ("generator", "name", "_target")
+    __slots__ = ("generator", "name", "send", "throw")
 
     def __init__(self, sim: Simulator, generator: Iterator[Any], name: str = "") -> None:
         super().__init__(sim)
@@ -42,12 +70,13 @@ class Process(Event):
                 "did you forget to call the generator function?"
             )
         self.generator = generator
+        self.send = generator.send
+        self.throw = generator.throw
         self.name = name or getattr(generator, "__name__", "process")
-        self._target: Event | None = None
         # Bootstrap: start the generator at the current instant via the calendar
         # so that process start order is deterministic.
         start = Event(sim)
-        start.add_callback(self._resume)
+        start.add_callback(self)
         start.succeed()
 
     @property
@@ -67,46 +96,25 @@ class Process(Event):
         wake.succeed()
 
     # ------------------------------------------------------------------
-    def _resume(self, event: Event) -> None:
+    def __call__(self, event: Event) -> None:
         """Drive the generator one step with *event*'s outcome."""
-        self._target = None
         try:
-            if event.ok:
-                nxt = self.generator.send(event._value)
+            if event._ok:
+                nxt = self.send(event._value)
             else:
-                nxt = self.generator.throw(event._value)
-        except StopIteration as stop:
-            if not self.triggered:
-                self.succeed(stop.value)
-            return
-        except Interrupt:
-            # An interrupt escaped the generator: treat as normal termination
-            # with no value (the idiomatic way to stop a server loop).
-            if not self.triggered:
-                self.succeed(None)
-            return
+                nxt = self.throw(event._value)
         except BaseException as exc:
-            if not self.triggered:
-                self.fail(exc)
+            _finish_process(self, exc)
             return
         self._wait_on(nxt)
 
     def _throw(self, exc: BaseException) -> None:
-        if self.triggered:
+        if self._value is not _PENDING:
             return  # terminated in the meantime; interrupt is moot
         try:
-            nxt = self.generator.throw(exc)
-        except StopIteration as stop:
-            if not self.triggered:
-                self.succeed(stop.value)
-            return
-        except Interrupt:
-            if not self.triggered:
-                self.succeed(None)
-            return
+            nxt = self.throw(exc)
         except BaseException as err:
-            if not self.triggered:
-                self.fail(err)
+            _finish_process(self, err)
             return
         self._wait_on(nxt)
 
@@ -121,5 +129,4 @@ class Process(Event):
         if target.sim is not self.sim:
             self._throw(SimulationError("yielded event belongs to a different simulator"))
             return
-        self._target = target
-        target.add_callback(self._resume)
+        target.add_callback(self)

@@ -425,7 +425,7 @@ class RdmaDevice:
             raise VerbsError("device has no peer for ACK delivery")
         msn = self._consumed_msn.get(qp.qpn, -1)
         impairment = self.link.impairment
-        if impairment is not None and impairment.ack_lost(self.endpoint, self.sim._now):
+        if impairment is not None and impairment.ack_lost(self.endpoint, self.sim.now):
             self.acks_lost += 1
             if self.sim.tracing:
                 self.sim.trace("rel", f"hca{self.device_id} {kind} msn={msn} lost")

@@ -43,6 +43,21 @@ def test_jsonl_round_trip(session):
     assert by_name["span.e2e_ns"]["sum"] == live.sum
 
 
+def test_kernel_calendar_gauges_sampled(session):
+    """The standard telemetry run samples the event-calendar kernel counters."""
+    series = session.sampler.series
+    for name in ("kernel.events_executed", "kernel.pending", "kernel.batches",
+                 "kernel.batched_events", "kernel.cascades",
+                 "kernel.l0_inserts", "kernel.overflow_inserts",
+                 "kernel.timeout_allocs", "kernel.timeout_reuses"):
+        assert name in series, name
+    executed = series["kernel.events_executed"].values()
+    assert executed == sorted(executed)  # cumulative counter, monotone
+    assert executed[-1] > 0
+    rate = series["kernel.timeout_freelist_hit_rate"].values()[-1]
+    assert 0.0 <= rate <= 1.0
+
+
 def test_schema_validation_catches_drift():
     assert validate_records([{"type": "meta", "schema": SCHEMA_VERSION,
                               "end_ns": 1, "run": {}}]) == []
