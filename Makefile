@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test bench bench-smoke bench-compare bench-paper figures examples obs-smoke chaos-smoke check-smoke all
+.PHONY: install test bench bench-smoke bench-compare bench-paper figures examples obs-smoke trace-smoke chaos-smoke check-smoke all
 
 install:
 	pip install -e . || python setup.py develop
@@ -39,10 +39,17 @@ bench-paper:
 obs-smoke:
 	python -m repro.obs smoke --out telemetry-smoke.jsonl
 
+# Causal-trace gate: run a heavy-loss blast under causal capture, require
+# every message's critical-path segments to reconcile exactly with its
+# measured e2e latency (including nonzero retransmit_backoff), and emit a
+# Chrome trace-event JSON that passes the strict validator.
+trace-smoke:
+	python -m repro.obs trace --smoke --out trace-smoke.json
+
 # Fault-injection gate: stream transfers over a lossy wire must stay
 # byte-exact (or fail loudly), with a reduced sweep for CI turnaround.
 chaos-smoke:
-	REPRO_CHAOS_QUALITY=smoke pytest tests/chaos -q
+	REPRO_CHAOS_QUALITY=smoke pytest tests/chaos -q $(PYTEST_FLAGS)
 
 # Correctness gate (< 60 s): exhaust the default small scope in the model
 # checker, then fuzz 50 schedule seeds through the full stack.  Violations

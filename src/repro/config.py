@@ -72,6 +72,14 @@ class ScenarioConfig:
     telemetry: bool = False
     #: write per-run telemetry JSONL artifacts into this directory
     telemetry_dir: Optional[str] = None
+    #: record the full causal DAG (kernel capture; enables critical-path
+    #: attribution via :mod:`repro.obs.causal`).  Simulated results are
+    #: unchanged; the C kernel fast path is bypassed for the run.
+    causal_capture: bool = False
+    #: >0 keeps a bounded flight ring of that many fired events, dumped as
+    #: JSON when a QP/connection fails (cheap always-on blackbox mode);
+    #: implied by ``causal_capture`` (which retains everything)
+    flight_recorder: int = 0
     #: hard cap on simulation events (``None`` = caller's default)
     max_events: Optional[int] = None
 
@@ -132,6 +140,8 @@ class ScenarioConfig:
             "schedule": list(self.schedule) if self.schedule else None,
             "telemetry": self.telemetry,
             "telemetry_dir": self.telemetry_dir,
+            "causal_capture": self.causal_capture,
+            "flight_recorder": self.flight_recorder,
             "max_events": self.max_events,
         }
 
@@ -148,5 +158,7 @@ class ScenarioConfig:
             schedule=tuple(schedule) if schedule else None,
             telemetry=bool(data.get("telemetry", False)),
             telemetry_dir=data.get("telemetry_dir"),
+            causal_capture=bool(data.get("causal_capture", False)),
+            flight_recorder=int(data.get("flight_recorder", 0)),
             max_events=data.get("max_events"),
         )

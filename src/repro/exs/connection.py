@@ -239,8 +239,16 @@ class ExsConnection:
         self._ctrl_queue.append(msg)
 
     def trace(self, kind: str, **fields) -> None:
-        """Emit a protocol trace event (no-op unless a tracer is attached)."""
+        """Emit a protocol trace event (no-op unless a tracer is attached).
+
+        Under causality capture, every trace event also carries the id of
+        the causal node whose dispatch produced it (``cause``) — the bridge
+        between the protocol-level span stream and the kernel's causal DAG.
+        """
         if self.tracer is not None:
+            rec = self.sim._recorder
+            if rec is not None:
+                fields["cause"] = rec.current
             self.tracer.emit(self.sim.now, self.conn_id, self.host.name, kind, **fields)
 
     def _note_progress(self) -> None:
@@ -352,6 +360,15 @@ class ExsConnection:
         self.trace("conn_error", reason=reason)
         if self.sim.tracing:
             self.sim.trace("exs", f"conn{self.conn_id} failed: {reason}")
+        rec = self.sim._recorder
+        if rec is not None:
+            rec.failure(
+                "conn_error",
+                self.sim.now,
+                conn=self.conn_id,
+                host=self.host.name,
+                error=reason,
+            )
         for eq, context in self.tx.fail_pending():
             self._post_error(eq, context)
         for eq, context in self.rx.fail_pending():

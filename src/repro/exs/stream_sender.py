@@ -141,6 +141,9 @@ class StreamSenderHalf:
             # require two credits so the pair can never half-issue.
             if not self.conn.credits.can_send_data(2):
                 self.conn.tx_stats.sender_blocked += 1
+                rec = self.conn.sim._recorder
+                if rec is not None:
+                    rec.note_credit_block(self.conn.conn_id, self.conn.sim.now)
                 break
             plan = self.algo.next_transfer(head.unplanned)
             if plan is None:
@@ -154,6 +157,11 @@ class StreamSenderHalf:
         conn = self.conn
         if self.first_post_ns is None:
             self.first_post_ns = conn.sim.now
+        rec = conn.sim._recorder
+        if rec is not None:
+            # Ends any open credit-stall window for this connection; the
+            # critical-path walker relabels overlapping time as credit_wait.
+            rec.note_credit_unblock(conn.conn_id, conn.sim.now)
         if isinstance(plan, DirectPlan):
             if conn.tracer is not None:
                 conn.trace("direct", nbytes=plan.nbytes, seq=plan.seq, phase=plan.phase)

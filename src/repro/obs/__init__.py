@@ -18,6 +18,7 @@ views forwarded, and pins outstanding, sampled into the per-connection
 """
 
 from ..hosts.memory import CopyMeter
+from .causal import CriticalPathReport, MessagePath, critical_paths, flight_chain
 from .export import (
     SCHEMA_VERSION,
     RunArtifact,
@@ -27,6 +28,7 @@ from .export import (
     write_jsonl,
     write_prometheus,
 )
+from .perfetto import build_chrome_trace, validate_chrome_trace, write_chrome_trace
 from .registry import Counter, Gauge, Histogram, MetricsRegistry
 from .report import render_report
 from .sampler import Sampler, TimeSeries
@@ -36,8 +38,10 @@ from .telemetry import Telemetry
 __all__ = [
     "CopyMeter",
     "Counter",
+    "CriticalPathReport",
     "Gauge",
     "Histogram",
+    "MessagePath",
     "MessageSpan",
     "MetricsRegistry",
     "RunArtifact",
@@ -45,10 +49,15 @@ __all__ = [
     "Sampler",
     "Telemetry",
     "TimeSeries",
+    "build_chrome_trace",
     "build_spans",
+    "critical_paths",
+    "flight_chain",
     "load_jsonl",
     "render_report",
+    "validate_chrome_trace",
     "validate_records",
+    "write_chrome_trace",
     "write_csv",
     "write_jsonl",
     "write_prometheus",

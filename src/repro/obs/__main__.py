@@ -8,11 +8,22 @@ Subcommands::
                             [--format text|markdown] [--top K] [--width W]
     python -m repro.obs report run.jsonl [--format ...] [--top K] [--width W]
     python -m repro.obs smoke [--out run.jsonl]
+    python -m repro.obs trace [--messages N] [--seed N]
+                              [--loss none|light|heavy] [--out trace.json]
+                              [--smoke]
 
 ``run`` with no arguments executes the quickstart scenario and prints the
 text run report.  ``smoke`` is the CI gate: it runs a small traced
 scenario, round-trips the JSONL artifact, validates the export schema, and
 fails if any sent message is missing a complete span.
+
+``trace`` runs a blast with **causal capture** enabled, prints the
+critical-path latency attribution (``repro.obs.causal``), and optionally
+writes a Chrome trace-event JSON (``--out``) loadable in
+https://ui.perfetto.dev.  ``--smoke`` turns it into the ``make
+trace-smoke`` CI gate: the export must pass the strict validator, every
+message path must reconcile with its span's ``e2e_ns``, and a lossy run
+must attribute time to ``retransmit_backoff``.
 """
 
 from __future__ import annotations
@@ -180,6 +191,75 @@ def _cmd_smoke(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    """Causally-captured lossy blast → critical paths + Perfetto export."""
+    from ..apps.blast import BlastConfig, run_blast
+    from ..apps.workloads import ExponentialSizes
+    from ..config import ScenarioConfig
+    from ..simnet.faults import HEAVY_LOSS, LIGHT_LOSS
+    from ..testbed import Testbed
+    from .causal import critical_paths
+    from .perfetto import build_chrome_trace, validate_chrome_trace, write_chrome_trace
+
+    faults = {"none": None, "light": LIGHT_LOSS, "heavy": HEAVY_LOSS}[args.loss]
+    scenario = ScenarioConfig(
+        seed=args.seed, faults=faults, causal_capture=True,
+        max_events=400_000_000,
+    )
+    tb = Testbed.from_scenario(scenario)
+    tel = tb.attach_telemetry(sample_interval_ns=args.interval_us * 1000)
+    run_blast(
+        BlastConfig(total_messages=args.messages,
+                    sizes=ExponentialSizes(seed=args.seed)),
+        testbed=tb, scenario=scenario,
+    )
+    tel.finish(scenario="trace", messages=args.messages, seed=args.seed,
+               loss=args.loss)
+
+    doc = build_chrome_trace(tel.tracer.events, tel.spans())
+    errors = validate_chrome_trace(doc)
+    if errors:
+        print("trace export INVALID:", file=sys.stderr)
+        for e in errors:
+            print(f"  - {e}", file=sys.stderr)
+        return 1
+    if args.out:
+        with open(args.out, "w") as fh:
+            n = write_chrome_trace(fh, doc)
+        print(f"[wrote {n} trace events to {args.out}; "
+              "open in https://ui.perfetto.dev]", file=sys.stderr)
+
+    report = critical_paths(tb.causal, tel.tracer.events, tel.spans())
+    print(report.render())
+    if tb.causal is not None and tb.causal.dumps:
+        print(f"[{len(tb.causal.dumps)} flight-recorder dump(s) captured]",
+              file=sys.stderr)
+
+    if args.smoke:
+        failures: List[str] = []
+        if not report.paths:
+            failures.append("no attributed message paths")
+        bad = [p for p in report.paths if not p.reconciled]
+        if bad:
+            p = bad[0]
+            failures.append(
+                f"{len(bad)} paths fail e2e reconciliation "
+                f"(e.g. send_id={p.span.send_id}: segments={p.total_ns} "
+                f"e2e={p.span.e2e_ns})")
+        if report.unattributed:
+            failures.append(f"{report.unattributed} spans unattributed")
+        if args.loss != "none" and not report.totals.get("retransmit_backoff"):
+            failures.append("lossy run attributed no retransmit_backoff time")
+        if failures:
+            print("trace smoke FAILED:", file=sys.stderr)
+            for f in failures:
+                print(f"  - {f}", file=sys.stderr)
+            return 1
+        print(f"trace smoke ok: {len(report.paths)} paths reconciled, "
+              f"{len(doc['traceEvents'])} trace events valid")
+    return 0
+
+
 # ---------------------------------------------------------------------------
 def _add_report_opts(p: argparse.ArgumentParser) -> None:
     p.add_argument("--format", choices=("text", "markdown"), default="text",
@@ -215,6 +295,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_smoke = sub.add_parser("smoke", help="CI schema/coverage gate")
     p_smoke.add_argument("--out", help="also write the artifact here (CI upload)")
     p_smoke.set_defaults(fn=_cmd_smoke)
+
+    p_tr = sub.add_parser(
+        "trace", help="causally-captured run: critical paths + Perfetto export")
+    # defaults chosen so the heavy-loss run exercises an RTO on at least
+    # one message's critical path (the --smoke gate asserts it)
+    p_tr.add_argument("--messages", type=int, default=40)
+    p_tr.add_argument("--seed", type=int, default=1)
+    p_tr.add_argument("--loss", choices=("none", "light", "heavy"),
+                      default="heavy", help="fault profile (default: heavy)")
+    p_tr.add_argument("--interval-us", type=int, default=100)
+    p_tr.add_argument("--out", help="write Chrome trace-event JSON here")
+    p_tr.add_argument("--smoke", action="store_true",
+                      help="CI gate: fail on validator/reconciliation errors")
+    p_tr.set_defaults(fn=_cmd_trace)
 
     args = parser.parse_args(argv if argv is not None else sys.argv[1:])
     if args.command is None:

@@ -203,11 +203,40 @@ def write_csv(fh: IO[str], source) -> int:
 # ---------------------------------------------------------------------------
 # Prometheus text exposition
 # ---------------------------------------------------------------------------
-_PROM_BAD = re.compile(r"[^a-zA-Z0-9_]")
+_PROM_BAD = re.compile(r"[^a-zA-Z0-9_:]")
 
 
 def _prom_name(name: str) -> str:
+    """Sanitize a dotted metric name into exposition-grammar form.
+
+    Metric names must match ``[a-zA-Z_:][a-zA-Z0-9_:]*``; the ``repro_``
+    prefix guarantees a valid first character even for names starting
+    with a digit.
+    """
     return "repro_" + _PROM_BAD.sub("_", name)
+
+
+def _prom_escape(value: str) -> str:
+    """Escape a label value per the text exposition format (backslash,
+    double quote, newline)."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _prom_labels(name: str, pname: str, extra: str = "") -> str:
+    """Label block carrying the original dotted name when sanitization
+    changed it (``conn1.client.tx.ring_free`` → label), so distinct dotted
+    names stay distinguishable after the lossy ``_`` mapping."""
+    labels = []
+    if pname != "repro_" + name:
+        labels.append(f'name="{_prom_escape(name)}"')
+    if extra:
+        labels.append(extra)
+    return "{" + ",".join(labels) + "}" if labels else ""
 
 
 def write_prometheus(fh: IO[str], source) -> int:
@@ -215,24 +244,30 @@ def write_prometheus(fh: IO[str], source) -> int:
 
     Scalars become gauges; histograms become the conventional
     ``_bucket``/``_sum``/``_count`` triplet with cumulative ``le`` labels.
+    Names are sanitized to the exposition grammar and label values are
+    escaped, with the original dotted name preserved as a ``name`` label.
     Returns the number of samples written.
     """
     art = _normalize(source)
     n = 0
     for name in sorted(art.snapshot):
         pname = _prom_name(name)
-        fh.write(f"# TYPE {pname} gauge\n{pname} {art.snapshot[name]}\n")
+        labels = _prom_labels(name, pname)
+        fh.write(f"# TYPE {pname} gauge\n{pname}{labels} {art.snapshot[name]}\n")
         n += 1
     for h in sorted(art.hists, key=lambda h: h["name"]):
-        pname = _prom_name(h["name"])
+        name = h["name"]
+        pname = _prom_name(name)
         fh.write(f"# TYPE {pname} histogram\n")
         cum = 0
         for ub, c in h["buckets"]:
             cum += c
-            fh.write(f'{pname}_bucket{{le="{ub}"}} {cum}\n')
+            labels = _prom_labels(name, pname, f'le="{_prom_escape(ub)}"')
+            fh.write(f"{pname}_bucket{labels} {cum}\n")
             n += 1
-        fh.write(f'{pname}_bucket{{le="+Inf"}} {h["count"]}\n')
-        fh.write(f"{pname}_sum {h['sum']}\n")
-        fh.write(f"{pname}_count {h['count']}\n")
+        labels = _prom_labels(name, pname, 'le="+Inf"')
+        fh.write(f"{pname}_bucket{labels} {h['count']}\n")
+        fh.write(f"{pname}_sum{_prom_labels(name, pname)} {h['sum']}\n")
+        fh.write(f"{pname}_count{_prom_labels(name, pname)} {h['count']}\n")
         n += 3
     return n

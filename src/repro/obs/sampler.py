@@ -51,12 +51,22 @@ class TimeSeries:
     def last(self) -> Optional[float]:
         return self.points[-1][1] if self.points else None
 
-    def deltas(self) -> List[Tuple[int, float]]:
-        """Per-interval increments of a cumulative series."""
+    def deltas(self, allow_negative: bool = False) -> List[Tuple[int, float]]:
+        """Per-interval increments of a cumulative series.
+
+        Cumulative counters only move forward, so a negative increment
+        means the underlying source reset (reconnect, gauge re-registered
+        mid-run); by default those are clamped to 0 rather than poisoning
+        rate plots with a huge negative spike.  Pass ``allow_negative=True``
+        for genuinely signed series (e.g. queue-depth gauges).
+        """
         out: List[Tuple[int, float]] = []
         prev = 0.0
         for t, v in self.points:
-            out.append((t, v - prev))
+            d = v - prev
+            if d < 0 and not allow_negative:
+                d = 0.0
+            out.append((t, d))
             prev = v
         return out
 
@@ -89,6 +99,8 @@ class Sampler:
         #: True once the cap stopped further sampling (reported, not silent)
         self.truncated = False
         self._started = False
+        #: simulated time of the most recent sample (-1 before the first)
+        self.last_sample_ns = -1
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -123,6 +135,20 @@ class Sampler:
                 ts = series[name] = TimeSeries(name)
             ts.append(now, value)
         self.samples_taken += 1
+        self.last_sample_ns = now
+
+    def finish(self) -> None:
+        """Flush one final sample at end-of-run time.
+
+        The tick stream stops at the last multiple of ``interval_ns`` before
+        the run ends, silently dropping the tail interval; teardown
+        (``Telemetry.finish`` / ``Testbed.run``) calls this so every series
+        extends to the run's actual end.  No-op when a sample already
+        exists at the current instant, so repeated teardowns don't add
+        duplicate points.
+        """
+        if self.last_sample_ns != self.sim.now:
+            self.sample_now()
 
     # ------------------------------------------------------------------
     def get(self, name: str) -> Optional[TimeSeries]:

@@ -238,7 +238,7 @@ class Telemetry:
         if self._finished:
             return self.spans()
         self._finished = True
-        self.sampler.sample_now()
+        self.sampler.finish()
         spans = self.spans()
         for stage in SPAN_STAGE_HISTOGRAMS:
             hist = self.registry.histogram(

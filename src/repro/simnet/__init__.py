@@ -16,6 +16,7 @@ it) and provides:
   policies (FIFO / seeded-random) for the conformance fuzzer.
 """
 
+from .causality import FLIGHT_SCHEMA, CausalNode, CausalRecorder, enable_capture
 from .emulator import DelayEmulator, gaussian_jitter, uniform_jitter
 from .events import AllOf, AnyOf, Event, Signal, Timeout
 from .faults import (
@@ -37,10 +38,13 @@ from .schedule import FifoPolicy, RandomTiebreakPolicy, SchedulePolicy, policy_f
 __all__ = [
     "AllOf",
     "AnyOf",
+    "CausalNode",
+    "CausalRecorder",
     "Corrupted",
     "DUP_AND_CORRUPT",
     "DelayEmulator",
     "Event",
+    "FLIGHT_SCHEMA",
     "Fate",
     "FaultProfile",
     "FaultStats",
@@ -61,6 +65,7 @@ __all__ = [
     "Simulator",
     "Store",
     "Timeout",
+    "enable_capture",
     "gaussian_jitter",
     "policy_from_spec",
     "uniform_jitter",

@@ -124,7 +124,8 @@ class CallbackEntry:
     after dispatch.
     """
 
-    __slots__ = ("fn", "arg", "_seq")
+    # _cid is written only under causality capture (see simnet.causality)
+    __slots__ = ("fn", "arg", "_seq", "_cid")
 
     def __init__(self, fn: Callable[[Any], None], arg: Any) -> None:
         self.fn = fn

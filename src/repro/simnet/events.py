@@ -49,7 +49,9 @@ class Event:
     the event enters the wheel structures.
     """
 
-    __slots__ = ("sim", "_cb1", "_cbs", "_value", "_ok", "_seq")
+    # _cid is written only under causality capture (see simnet.causality);
+    # in normal runs the slot exists but is never assigned or read.
+    __slots__ = ("sim", "_cb1", "_cbs", "_value", "_ok", "_seq", "_cid")
 
     def __init__(self, sim: Simulator) -> None:
         self.sim = sim

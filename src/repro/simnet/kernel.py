@@ -181,6 +181,9 @@ class Simulator:
         # bound per instance, plus its partial-count handoff slot
         "_creg",
         "_creg_n",
+        # optional causality recorder (see causality.py); None when capture
+        # is off, in which case no code path in this module reads it
+        "_recorder",
     )
 
     def __init__(
@@ -229,6 +232,7 @@ class Simulator:
         self._cbe_reuses = 0
         self._creg = None
         self._creg_n = 0
+        self._recorder = None
 
         if calendar is None:
             calendar = os.environ.get("REPRO_KERNEL") or "wheel"
@@ -726,7 +730,11 @@ class Simulator:
         stop = INF if stop_time is None else stop_time
         maxe = INF if max_events is None else max_events
         try:
-            if self._backend == "heap":
+            if self._recorder is not None:
+                from .causality import drain_record
+
+                drain_record(self, stop, maxe)
+            elif self._backend == "heap":
                 drain_heap(self, stop, maxe)
             elif self._tiebreak is not None:
                 drain_policy(self, stop, maxe)

@@ -92,6 +92,22 @@ class Testbed:
         self.seed = seed
         self.sim = Simulator(trace=trace, schedule_policy=schedule_policy)
 
+        #: the run's :class:`~repro.simnet.causality.CausalRecorder` when the
+        #: scenario asked for capture (``causal_capture``/``flight_recorder``)
+        self.causal = None
+        if scenario is not None and (scenario.causal_capture or scenario.flight_recorder):
+            from .simnet.causality import CausalRecorder, enable_capture
+
+            try:
+                scenario_dict = scenario.to_dict()
+            except ValueError:  # ad-hoc unregistered profile: dump without it
+                scenario_dict = None
+            self.causal = enable_capture(self.sim, CausalRecorder(
+                capacity=None if scenario.causal_capture else scenario.flight_recorder,
+                dump_dir=scenario.telemetry_dir,
+                scenario=scenario_dict,
+            ))
+
         self.client_host = Host(
             self.sim, "client",
             copy_bandwidth_bps=profile.copy_bandwidth_bps,
@@ -176,7 +192,12 @@ class Testbed:
 
     def run(self, until=None, *, max_events: Optional[int] = None):
         """Run the simulation (see :meth:`repro.simnet.Simulator.run`)."""
-        return self.sim.run(until, max_events=max_events)
+        try:
+            return self.sim.run(until, max_events=max_events)
+        finally:
+            if self.telemetry is not None:
+                # flush the tail interval the periodic tick never reaches
+                self.telemetry.sampler.finish()
 
     @property
     def now(self) -> int:

@@ -161,13 +161,33 @@ def render_timeline(tracer: ProtocolTracer, width: int = 72) -> str:
     return "\n".join(lines)
 
 
+#: event kinds emitted by the reliability/fault layer (PR 3 onwards); they
+#: get their own section in :func:`summarize` so chaos runs read at a glance
+RELIABILITY_KINDS = (
+    "retransmit", "nak", "rnr", "frame_drop", "link_down",
+    "qp_error", "conn_error",
+)
+
+
 def summarize(tracer: ProtocolTracer) -> str:
-    """Per-connection event counts, byte totals, and direct ratio."""
+    """Per-connection event counts, byte totals, direct ratio — and, when
+    the run was lossy, a reliability section (retransmits, NAKs, RNR
+    pauses, dropped/outage frames, QP and connection errors)."""
     counts: Dict[Tuple[int, str], Dict[str, int]] = defaultdict(lambda: defaultdict(int))
     tx_bytes: Dict[Tuple[int, str], Dict[str, int]] = defaultdict(
         lambda: {"direct": 0, "indirect": 0})
+    rel_counts: Dict[str, int] = defaultdict(int)
+    rel_detail: Dict[Tuple[int, str], Dict[str, int]] = defaultdict(lambda: defaultdict(int))
+    retransmitted_msgs = 0
+    rel_kinds = set(RELIABILITY_KINDS)
     for e in tracer.events:
         key = (e.conn, e.host)
+        if e.kind in rel_kinds:
+            rel_counts[e.kind] += 1
+            rel_detail[key][e.kind] += 1
+            if e.kind == "retransmit":
+                retransmitted_msgs += e.get("count", 0)
+            continue
         counts[key][e.kind] += 1
         if e.kind in ("direct", "indirect"):
             tx_bytes[key][e.kind] += e.get("nbytes", 0)
@@ -183,6 +203,17 @@ def summarize(tracer: ProtocolTracer) -> str:
                 f"    bytes: direct={b['direct']}, indirect={b['indirect']}, "
                 f"total={b['direct'] + b['indirect']}; direct_ratio={ratio:.3f}"
             )
+    if rel_counts:
+        lines.append("reliability events:")
+        totals = ", ".join(
+            f"{k}={rel_counts[k]}" for k in RELIABILITY_KINDS if rel_counts.get(k)
+        )
+        lines.append(f"  totals: {totals}")
+        if retransmitted_msgs:
+            lines.append(f"  messages retransmitted: {retransmitted_msgs}")
+        for (conn, host), kinds in sorted(rel_detail.items()):
+            detail = ", ".join(f"{k}={v}" for k, v in sorted(kinds.items()))
+            lines.append(f"  conn {conn} @{host}: {detail}")
     if tracer.dropped:
         lines.append(f"  ({tracer.dropped} events dropped at capacity)")
     return "\n".join(lines)

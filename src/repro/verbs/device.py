@@ -433,6 +433,12 @@ class RdmaDevice:
         ack = AckMessage(dst_qpn=qp.remote_qpn, msn=msn, kind=kind)
         delay = self.config.ack_turnaround_ns + self.link.sample_propagation_ns(self.endpoint)
         self.sim.call_in(delay, self.peer._on_ack, ack)
+        if self.sim._recorder is not None:
+            self.sim._recorder.annotate_last(
+                1,
+                turnaround_ns=self.config.ack_turnaround_ns,
+                prop_ns=delay - self.config.ack_turnaround_ns,
+            )
         self.acks_sent += 1
 
     _ACK_WC_OPCODE = {
@@ -485,6 +491,21 @@ class RdmaDevice:
         qp.to_error()
         if self.sim.tracing:
             self.sim.trace("rel", f"qp{qp.qpn} fatal {status.value}")
+        tracer = getattr(self.host, "tracer", None)
+        if tracer is not None:
+            tracer.emit(self.sim.now, qp.qpn, self.host.name, "qp_error",
+                        status=status.value, pending=len(pending))
+        rec = self.sim._recorder
+        if rec is not None:
+            rec.failure(
+                "qp_error",
+                self.sim.now,
+                qpn=qp.qpn,
+                status=status.value,
+                device=self.device_id,
+                host=self.host.name,
+                pending=len(pending),
+            )
         qp.flush(status, pending)
         if self.tx is not None and qp.remote_qpn is not None:
             term = TermMessage(dst_qpn=qp.remote_qpn, reason=status.value)

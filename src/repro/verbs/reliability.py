@@ -173,6 +173,17 @@ class ReliabilityEngine:
             st = self._qp_state[qp.qpn] = _QpRel()
         return st
 
+    def _emit(self, kind: str, qp: "QueuePair", **fields: object) -> None:
+        """Emit a reliability event to the host's protocol tracer, if any.
+
+        These are the retransmit/NAK/RNR kinds that make chaos-run
+        summaries meaningful (:func:`repro.trace.summarize`).
+        """
+        tracer = getattr(self.device.host, "tracer", None)
+        if tracer is not None:
+            tracer.emit(self.device.sim.now, qp.qpn, self.device.host.name,
+                        kind, **fields)
+
     # ------------------------------------------------------------------
     # requester side
     # ------------------------------------------------------------------
@@ -221,15 +232,17 @@ class ReliabilityEngine:
         if sim.tracing:
             sim.trace("rel", f"qp{qp.qpn} timeout#{st.attempts} "
                              f"retransmit {len(st.unacked)} msgs")
-        self._retransmit_window(st)
+        self._retransmit_window(qp, st, cause="timeout", attempt=st.attempts)
         st.last_progress_ns = sim.now
         self._arm(qp, st, self._current_rto(st))
 
-    def _retransmit_window(self, st: _QpRel) -> None:
+    def _retransmit_window(self, qp: "QueuePair", st: _QpRel,
+                           **why: object) -> None:
         tx = self.device.tx
         for sm in st.unacked.values():
             tx.transmit(sm.msg, sm.wire_bytes, extra_tx_ns=sm.extra_tx_ns)
         self.stats.retransmits += len(st.unacked)
+        self._emit("retransmit", qp, count=len(st.unacked), **why)
 
     def _progress(self, st: _QpRel) -> None:
         sim = self.device.sim
@@ -293,7 +306,7 @@ class ReliabilityEngine:
             if self.device.sim.tracing:
                 self.device.sim.trace(
                     "rel", f"qp{qp.qpn} nak msn={msn} go-back-{len(st.unacked)}")
-            self._retransmit_window(st)
+            self._retransmit_window(qp, st, cause="nak", msn=msn)
             st.last_progress_ns = self.device.sim.now
             if not st.timer_armed:
                 self._arm(qp, st, self._current_rto(st))
@@ -327,7 +340,7 @@ class ReliabilityEngine:
         st.timer_armed = False
         if not st.unacked:
             return
-        self._retransmit_window(st)
+        self._retransmit_window(qp, st, cause="rnr")
         st.last_progress_ns = self.device.sim.now
         self._arm(qp, st, self._current_rto(st))
 
@@ -353,10 +366,12 @@ class ReliabilityEngine:
             return
         st.last_nak_for = expected
         self.stats.naks_sent += 1
+        self._emit("nak", qp, expected=expected)
         self.device._send_ack_message(qp, kind="nak")
 
     def send_rnr(self, qp: "QueuePair") -> None:
         self.stats.rnr_naks_sent += 1
+        self._emit("rnr", qp)
         self.device._send_ack_message(qp, kind="rnr")
 
     # ------------------------------------------------------------------

@@ -2,6 +2,7 @@
 
 import io
 import json
+import re
 
 import pytest
 
@@ -91,13 +92,54 @@ def test_prometheus_exposition(session):
     buf = io.StringIO()
     write_prometheus(buf, session)
     text = buf.getvalue()
-    assert "# TYPE repro_client_cpu_busy_ns gauge" in text
+    assert "# TYPE repro_client_app_cpu_busy_ns gauge" in text
     assert "# TYPE repro_span_e2e_ns histogram" in text
-    assert 'repro_span_e2e_ns_bucket{le="+Inf"}' in text
-    assert "repro_span_e2e_ns_count" in text
+    assert 'repro_span_e2e_ns_bucket{name="span.e2e_ns",le="+Inf"}' in text
     # bucket counts are cumulative
     hist = session.registry.get_histogram("span.e2e_ns")
-    assert f"repro_span_e2e_ns_count {hist.count}" in text
+    assert f'repro_span_e2e_ns_count{{name="span.e2e_ns"}} {hist.count}' in text
+
+
+_PROM_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^{}]*)\})?"
+    r" (?P<value>[-+]?(?:[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?|Inf|NaN))$")
+_PROM_LABEL = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\[\\"n])*"$')
+
+
+def test_prometheus_grammar_valid(session):
+    """Every exposed line must parse under the text exposition grammar:
+    metric names ``[a-zA-Z_:][a-zA-Z0-9_:]*``, label values escaped."""
+    buf = io.StringIO()
+    write_prometheus(buf, session)
+    for line in buf.getvalue().splitlines():
+        if line.startswith("#"):
+            continue
+        m = _PROM_LINE.match(line)
+        assert m, f"line fails exposition grammar: {line!r}"
+        if m.group("labels"):
+            for pair in m.group("labels").split(","):
+                assert _PROM_LABEL.match(pair), f"bad label {pair!r} in {line!r}"
+
+
+def test_prometheus_dotted_names_keep_identity(session):
+    """Sanitizing ``conn1.client.tx.ring_free`` → ``_`` is lossy, so the
+    original dotted name must survive as a ``name`` label."""
+    buf = io.StringIO()
+    write_prometheus(buf, session)
+    text = buf.getvalue()
+    dotted = [n for n in session.registry.snapshot() if "." in n]
+    assert dotted, "expected dotted per-connection metric names"
+    for name in dotted:
+        assert f'name="{name}"' in text, name
+
+
+def test_prometheus_escaping():
+    from repro.obs.export import _prom_escape, _prom_name
+
+    assert _prom_name("conn1.client.tx") == "repro_conn1_client_tx"
+    assert _prom_name("0weird-name") == "repro_0weird_name"
+    assert _prom_escape('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
 
 
 def test_report_renders_from_live_and_loaded(session):

@@ -1,0 +1,145 @@
+"""Chrome trace-event export: a valid document from real runs, and a
+validator strict enough to catch each malformation class it claims."""
+
+import io
+import json
+
+import pytest
+
+from repro.apps import BlastConfig, ExponentialSizes, run_blast
+from repro.config import ScenarioConfig
+from repro.obs.perfetto import (
+    build_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.simnet import HEAVY_LOSS
+from repro.testbed import Testbed
+
+
+@pytest.fixture(scope="module")
+def lossy_doc():
+    scenario = ScenarioConfig(seed=1, faults=HEAVY_LOSS, causal_capture=True,
+                              max_events=400_000_000)
+    tb = Testbed.from_scenario(scenario)
+    tel = tb.attach_telemetry()
+    run_blast(BlastConfig(total_messages=30, sizes=ExponentialSizes(seed=1)),
+              testbed=tb, scenario=scenario)
+    tel.finish()
+    return build_chrome_trace(tel.tracer.events, tel.spans())
+
+
+def test_real_run_export_is_valid(lossy_doc):
+    assert validate_chrome_trace(lossy_doc) == []
+
+
+def test_export_structure(lossy_doc):
+    evs = lossy_doc["traceEvents"]
+    by_ph = {}
+    for e in evs:
+        by_ph.setdefault(e["ph"], []).append(e)
+    # host process tracks + per-connection thread tracks
+    names = {e["args"]["name"] for e in by_ph["M"] if e["name"] == "process_name"}
+    assert {"client", "server"} <= names
+    # one complete event per delivered message
+    assert len(by_ph["X"]) == 30
+    # flow arrows come in matched pairs crossing processes
+    assert len(by_ph["s"]) == len(by_ph["f"]) == 30
+    starts = {e["id"]: e for e in by_ph["s"]}
+    for f in by_ph["f"]:
+        s = starts[f["id"]]
+        assert s["pid"] != f["pid"], "flow must cross host tracks"
+        assert s["ts"] <= f["ts"]
+    # the lossy run surfaces reliability instants
+    instant_names = {e["name"] for e in by_ph["i"]}
+    assert "retransmit" in instant_names or "nak" in instant_names
+
+
+def test_write_round_trips(lossy_doc, tmp_path):
+    buf = io.StringIO()
+    n = write_chrome_trace(buf, lossy_doc)
+    assert n == len(lossy_doc["traceEvents"])
+    loaded = json.loads(buf.getvalue())
+    assert validate_chrome_trace(loaded) == []
+
+
+# ----------------------------------------------------------------------
+# validator strictness
+# ----------------------------------------------------------------------
+def _doc(*events):
+    return {"traceEvents": list(events)}
+
+
+M = {"name": "process_name", "ph": "M", "pid": 1, "args": {"name": "client"}}
+
+
+def test_validator_rejects_non_document():
+    assert validate_chrome_trace([]) != []
+    assert validate_chrome_trace({"events": []}) != []
+
+
+def test_validator_rejects_missing_fields():
+    errs = validate_chrome_trace(_doc(M, {"ph": "X", "name": "m", "ts": 1}))
+    assert any("missing fields" in e for e in errs)
+
+
+def test_validator_rejects_unknown_ph():
+    errs = validate_chrome_trace(_doc(M, {"ph": "Z", "name": "m"}))
+    assert any("unknown/missing ph" in e for e in errs)
+
+
+def test_validator_rejects_negative_ts_and_dur():
+    x = {"name": "m", "cat": "c", "ph": "X", "ts": -1, "dur": 2, "pid": 1, "tid": 0}
+    assert any("bad ts" in e for e in validate_chrome_trace(_doc(M, x)))
+    x2 = dict(x, ts=1, dur=-2)
+    assert any("bad dur" in e for e in validate_chrome_trace(_doc(M, x2)))
+
+
+def test_validator_rejects_nonmonotone_track():
+    a = {"name": "m", "cat": "c", "ph": "X", "ts": 10, "dur": 1, "pid": 1, "tid": 0}
+    b = dict(a, ts=5)
+    errs = validate_chrome_trace(_doc(M, a, b))
+    assert any("on track" in e for e in errs)
+    # different track: no violation
+    c = dict(a, ts=5, tid=1)
+    assert validate_chrome_trace(_doc(M, a, c)) == []
+
+
+def test_validator_rejects_unmatched_flow():
+    s = {"name": "m", "cat": "flow", "ph": "s", "id": "1:1", "ts": 1,
+         "pid": 1, "tid": 0}
+    errs = validate_chrome_trace(_doc(M, s))
+    assert any("unmatched" in e for e in errs)
+
+
+def test_validator_rejects_flow_end_without_bp():
+    s = {"name": "m", "cat": "flow", "ph": "s", "id": "1:1", "ts": 1,
+         "pid": 1, "tid": 0}
+    f = {"name": "m", "cat": "flow", "ph": "f", "id": "1:1", "ts": 2,
+         "pid": 1, "tid": 1}
+    errs = validate_chrome_trace(_doc(M, s, f))
+    assert any("bp='e'" in e for e in errs)
+    assert validate_chrome_trace(_doc(M, s, dict(f, bp="e"))) == []
+
+
+def test_validator_rejects_flow_finishing_before_start():
+    s = {"name": "m", "cat": "flow", "ph": "s", "id": "x", "ts": 9,
+         "pid": 1, "tid": 0}
+    f = {"name": "m", "cat": "flow", "ph": "f", "bp": "e", "id": "x", "ts": 2,
+         "pid": 2, "tid": 0}
+    errs = validate_chrome_trace(_doc(M, f, s))
+    assert any("start ts after finish" in e for e in errs)
+
+
+def test_validator_rejects_bad_instant_scope():
+    i = {"name": "m", "ph": "i", "ts": 1, "pid": 1, "tid": 0, "s": "q"}
+    errs = validate_chrome_trace(_doc(M, i))
+    assert any("instant scope" in e for e in errs)
+    assert validate_chrome_trace(_doc(M, dict(i, s="t"))) == []
+
+
+def test_validator_rejects_bad_metadata():
+    bad = {"name": "color_name", "ph": "M", "pid": 1, "args": {"name": "x"}}
+    assert any("unknown metadata" in e for e in validate_chrome_trace(_doc(bad)))
+    no_name = {"name": "process_name", "ph": "M", "pid": 1, "args": {}}
+    assert any("lack 'name'" in e for e in validate_chrome_trace(_doc(no_name)))

@@ -69,3 +69,59 @@ def test_series_deltas():
     assert ts.deltas() == [(10, 2.0), (20, 3.0), (30, 0.0)]
     assert ts.last() == 5.0
     assert TimeSeries("empty").last() is None
+
+
+def test_series_deltas_clamps_counter_resets():
+    """A mid-run counter reset (reconnect, re-registered gauge) must not
+    produce a huge negative rate spike."""
+    ts = TimeSeries("t", [(10, 5.0), (20, 8.0), (30, 2.0), (40, 6.0)])
+    assert ts.deltas() == [(10, 5.0), (20, 3.0), (30, 0.0), (40, 4.0)]
+    # genuinely signed series can opt out
+    assert ts.deltas(allow_negative=True) == [
+        (10, 5.0), (20, 3.0), (30, -6.0), (40, 4.0)]
+
+
+def test_finish_flushes_final_sample(sim):
+    """The tick stream stops at the last interval multiple; finish() must
+    extend every series to the actual end-of-run time."""
+    reg = MetricsRegistry()
+    reg.gauge("clock", lambda: sim.now)
+    sampler = Sampler(sim, reg, interval_ns=1000)
+    sampler.start()
+    ticking_sim(sim, 5000)
+    sim.run(3500)  # run ends at 3500, between ticks
+    assert sampler.get("clock").times()[-1] == 3000
+    sampler.finish()
+    assert sampler.get("clock").times()[-1] == sim.now == 3500
+    assert sampler.last_sample_ns == 3500
+
+
+def test_finish_is_idempotent_at_an_instant(sim):
+    reg = MetricsRegistry()
+    reg.gauge("g", lambda: 1)
+    sampler = Sampler(sim, reg, interval_ns=1000)
+    sampler.start()
+    ticking_sim(sim, 1000)
+    sim.run()
+    n = len(sampler.get("g"))
+    sampler.finish()
+    sampler.finish()
+    # the tick already sampled at t=1000; finish adds nothing new
+    assert len(sampler.get("g")) == n
+
+
+def test_telemetry_finish_reaches_end_of_run():
+    """Via the Testbed/run_blast teardown: the last sample time must equal
+    the end-of-run time even when the run ends between ticks."""
+    from repro.apps import BlastConfig, FixedSizes, run_blast
+    from repro.config import ScenarioConfig
+    from repro.testbed import Testbed
+
+    scenario = ScenarioConfig(seed=2)
+    tb = Testbed.from_scenario(scenario)
+    tel = tb.attach_telemetry(sample_interval_ns=1_000_000)
+    run_blast(BlastConfig(total_messages=5, sizes=FixedSizes(64_000)),
+              testbed=tb, scenario=scenario)
+    tel.finish()
+    for name in tel.sampler.names():
+        assert tel.sampler.series[name].times()[-1] == tb.sim.now

@@ -1,0 +1,251 @@
+"""Causality capture: schedule-identical replay plus a correct causal DAG.
+
+The contract of :mod:`repro.simnet.causality` is twofold:
+
+* **Equivalence** — a captured run executes the exact same schedule as an
+  uncaptured one, on every calendar backend (wheel FIFO, wheel + policy,
+  heap).  The fingerprint workload from the timing-wheel suite is reused:
+  any ordering divergence derails a shared PRNG and amplifies.
+* **Causal structure** — every placement records its parent (the entry
+  executing when it was scheduled), category, and schedule/fire times,
+  and ``child.sched_ns == parent.fire_ns`` so chains tile exactly.
+"""
+
+import pytest
+
+from repro.simnet import (
+    CausalRecorder,
+    Event,
+    FifoPolicy,
+    RandomTiebreakPolicy,
+    SimulationError,
+    Simulator,
+    enable_capture,
+)
+
+
+def _lcg(seed):
+    state = (seed * 2654435761) & 0x7FFFFFFF or 1
+    while True:
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        yield state
+
+
+DELAYS = (0, 1, 3, 7, 100, 1000, 4095, 4096, 4097, 70_000, 16_773_120, 50_000_000)
+
+
+def _build_workload(sim, seed, log):
+    """Deterministic event soup: timeout chains, same-instant bursts,
+    call_in deliveries, manually triggered events (as in test_timing_wheel)."""
+    rnd = _lcg(seed)
+
+    def chain_worker(wid):
+        for i in range(15):
+            d = DELAYS[next(rnd) % len(DELAYS)]
+            v = yield sim.timeout(d, value=(wid, i))
+            log.append(("w", wid, i, v, sim.now))
+
+    def burst_worker(wid):
+        for i in range(6):
+            base = next(rnd) % 5000
+            evs = [sim.timeout(base) for _ in range(next(rnd) % 4 + 2)]
+            for j, t in enumerate(evs):
+                t.add_callback(
+                    lambda e, wid=wid, i=i, j=j: log.append(("b", wid, i, j, sim.now)))
+            yield evs[0]
+            log.append(("bw", wid, i, sim.now))
+            yield sim.timeout(next(rnd) % 64)
+
+    for wid in range(4):
+        sim.process(chain_worker(wid))
+    for wid in range(2):
+        sim.process(burst_worker(wid))
+    for i in range(40):
+        d = (next(rnd) % 40) * 128
+        sim.call_in(d, lambda arg: log.append(("cb",) + arg), (i, d))
+    for i in range(20):
+        ev = Event(sim)
+        ev.add_callback(lambda e, i=i: log.append(("ev", i, e._value, sim.now)))
+        ev.succeed(value=i, delay=next(rnd) % 3)
+
+
+def _policy(kind, seed):
+    if kind == "fifo":
+        return FifoPolicy()
+    if kind == "random":
+        return RandomTiebreakPolicy(seed=seed * 7 + 5)
+    return None
+
+
+def _fingerprint(backend, policy_kind, seed, capture):
+    sim = Simulator(schedule_policy=_policy(policy_kind, seed), calendar=backend)
+    rec = enable_capture(sim, CausalRecorder()) if capture else None
+    log = []
+    _build_workload(sim, seed, log)
+    sim.run()
+    return (tuple(log), sim.now, sim.events_executed), sim, rec
+
+
+# ----------------------------------------------------------------------
+# equivalence: capture replays the identical schedule, every backend
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", [1, 2, 17])
+@pytest.mark.parametrize("backend,policy_kind", [
+    ("wheel", None), ("wheel", "fifo"), ("wheel", "random"), ("heap", None),
+])
+def test_capture_is_schedule_identical(backend, policy_kind, seed):
+    plain, _, _ = _fingerprint(backend, policy_kind, seed, capture=False)
+    captured, _, rec = _fingerprint(backend, policy_kind, seed, capture=True)
+    assert plain == captured
+    assert len(rec.nodes) > 0
+
+
+def test_captured_run_matches_heap_reference():
+    """Cross-backend AND cross-capture: all four combinations agree."""
+    results = {
+        (b, c): _fingerprint(b, None, 23, capture=c)[0]
+        for b in ("wheel", "heap") for c in (False, True)
+    }
+    assert len(set(results.values())) == 1
+
+
+# ----------------------------------------------------------------------
+# DAG structure
+# ----------------------------------------------------------------------
+def test_parent_links_and_tiling():
+    _, sim, rec = _fingerprint("wheel", None, 5, capture=True)
+    fired = [n for n in rec.nodes.values() if n.fire_ns >= 0]
+    assert fired, "no nodes fired"
+    rooted = 0
+    for node in fired:
+        assert node.fire_ns >= node.sched_ns
+        if node.parent >= 0:
+            parent = rec.node(node.parent)
+            assert parent is not None
+            # the child was scheduled during its parent's dispatch
+            assert node.sched_ns == parent.fire_ns
+        else:
+            rooted += 1
+    assert rooted > 0, "expected top-level placements with parent=-1"
+
+
+def test_categories_recorded():
+    sim = Simulator()
+    rec = enable_capture(sim, CausalRecorder())
+    log = []
+
+    def proc():
+        yield sim.timeout(10)
+        sim.call_in(5, log.append, "x")
+        ev = Event(sim)
+        ev.succeed(delay=3)
+        yield ev
+
+    sim.process(proc())
+    sim.run()
+    cats = {n.category for n in rec.nodes.values()}
+    assert {"process", "timeout", "call", "event"} <= cats
+
+
+def test_named_callbacks_get_semantic_categories():
+    sim = Simulator()
+    rec = enable_capture(sim, CausalRecorder())
+
+    class Engine:
+        def _on_wire(self, arg):
+            pass
+
+        def _on_timer(self, arg):
+            pass
+
+    eng = Engine()
+    sim.call_in(5, eng._on_wire, None)
+    sim.call_in(7, eng._on_timer, None)
+    sim.run()
+    cats = sorted(n.category for n in rec.nodes.values())
+    assert cats == ["link", "rto_timer"]
+
+
+def test_annotate_last_attaches_meta():
+    sim = Simulator()
+    rec = enable_capture(sim, CausalRecorder())
+    sim.call_in(10, lambda a: None, None)
+    rec.annotate_last(1, queue_ns=2, tx_ns=5, prop_ns=3)
+    sim.run()
+    (node,) = rec.nodes.values()
+    assert node.meta == {"queue_ns": 2, "tx_ns": 5, "prop_ns": 3}
+
+
+# ----------------------------------------------------------------------
+# flight ring bounds + failure dumps
+# ----------------------------------------------------------------------
+def test_ring_mode_bounds_memory():
+    sim = Simulator()
+    rec = enable_capture(sim, CausalRecorder(capacity=8))
+    for i in range(50):
+        sim.call_in(i, lambda a: None, None)
+    sim.run()
+    # at most the ring (8) plus any never-fired pending nodes (none here)
+    assert len(rec.nodes) <= 8
+    assert [n.cid for n in rec.fired_nodes()] == list(range(42, 50))
+
+
+def test_failure_dump_parents_to_current_event(tmp_path):
+    sim = Simulator()
+    rec = enable_capture(
+        sim, CausalRecorder(capacity=16, dump_dir=str(tmp_path),
+                            scenario={"seed": 9}))
+
+    def boom(arg):
+        rec.failure("qp_error", sim.now, qpn=3)
+
+    sim.call_in(100, boom, None)
+    sim.run()
+    assert len(rec.dumps) == 1
+    dump = rec.last_dump
+    assert dump["schema"] == "repro.flight/1"
+    assert dump["reason"] == "qp_error"
+    assert dump["scenario"] == {"seed": 9}
+    # the synthetic failure node is parented to the event that was executing
+    failure = dump["events"][-1]
+    assert failure["category"] == "failure"
+    cause = [n for n in dump["events"] if n["id"] == failure["parent"]]
+    assert cause and cause[0]["category"] == "call"
+    import json, os
+    path = dump["path"]
+    assert os.path.exists(path)
+    with open(path) as fh:
+        assert json.load(fh)["reason"] == "qp_error"
+
+
+# ----------------------------------------------------------------------
+# guards + step
+# ----------------------------------------------------------------------
+def test_enable_capture_rejects_pending_calendar():
+    sim = Simulator()
+    sim.call_in(5, lambda a: None, None)
+    with pytest.raises(SimulationError):
+        enable_capture(sim, CausalRecorder())
+
+
+def test_enable_capture_rejects_double_enable():
+    sim = Simulator()
+    enable_capture(sim, CausalRecorder())
+    with pytest.raises(SimulationError):
+        enable_capture(sim, CausalRecorder())
+
+
+@pytest.mark.parametrize("backend", ["wheel", "heap"])
+def test_step_records(backend):
+    sim = Simulator(calendar=backend)
+    rec = enable_capture(sim, CausalRecorder())
+    log = []
+    sim.call_in(5, log.append, "a")
+    sim.call_in(9, log.append, "b")
+    sim.step()
+    assert log == ["a"] and sim.now == 5
+    sim.step()
+    assert log == ["a", "b"] and sim.now == 9
+    assert all(n.fire_ns >= 0 for n in rec.nodes.values())
+    with pytest.raises(IndexError):
+        sim.step()

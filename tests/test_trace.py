@@ -158,6 +158,27 @@ def test_phase_trace_is_bounded():
     assert stats.phase_trace[-1][0] == PHASE_TRACE_CAP + 24
 
 
+def test_summarize_reliability_section_on_lossy_run():
+    """A lossy blast must surface the reliability kinds; a clean run must
+    not grow the section at all."""
+    from repro.config import ScenarioConfig
+    from repro.simnet import HEAVY_LOSS
+
+    scenario = ScenarioConfig(seed=1, faults=HEAVY_LOSS, max_events=400_000_000)
+    tb = Testbed.from_scenario(scenario)
+    tracer = ProtocolTracer.attach(tb)
+    run_blast(BlastConfig(total_messages=25, sizes=FixedSizes(48_000)),
+              testbed=tb, scenario=scenario)
+    text = summarize(tracer)
+    assert "reliability events:" in text
+    assert "totals:" in text
+    assert "retransmit=" in text or "nak=" in text
+    assert "messages retransmitted:" in text
+
+    clean = summarize(traced_run())
+    assert "reliability events:" not in clean
+
+
 def test_connections_listing():
     tracer = traced_run()
     conns = tracer.connections()
