@@ -191,3 +191,86 @@ def test_real_bytes_indirect_blast_rate(benchmark):
         rounds=3, iterations=1, warmup_rounds=1)
     assert result.total_bytes == 64 * 1024 * 1024
     assert result.rx_stats.copied_bytes == result.total_bytes
+
+
+def test_transport_crossover_grid(benchmark):
+    """Transport bake-off sweep: loss × RTT × message size, every variant.
+
+    Times the full bake-off sweep (both data planes and both reliability
+    modes share the simulation substrate, so this is the harness's
+    heaviest mixed workload) and publishes the crossover table — which
+    variant delivers the highest simulated throughput in each cell — into
+    the benchmark JSON via ``extra_info`` so the committed
+    ``BENCH_simulator.json`` carries the grid alongside the timings.
+    """
+    from dataclasses import replace
+
+    from repro.bench.profiles import PROFILES
+    from repro.config import ScenarioConfig
+    from repro.simnet import FaultProfile
+    from repro.verbs import ReliabilityConfig
+
+    KIB = 1024
+    VARIANTS = (
+        ("wwi", "gobackn"),
+        ("wwi", "selective_repeat"),
+        ("eager_rendezvous", "gobackn"),
+        ("eager_rendezvous", "selective_repeat"),
+    )
+
+    def run():
+        grid = []
+        for pname in ("fdr", "roce-wan"):
+            prof = PROFILES[pname]
+            rel0 = ReliabilityConfig.for_path(
+                prof.propagation_delay_ns + prof.emulator_delay_ns)
+            for loss in (0.0, 0.02):
+                for size in (512, 8 * KIB, 256 * KIB):
+                    msgs = 16 if size >= 256 * KIB else 60
+                    cell = {
+                        "profile": pname,
+                        "loss": loss,
+                        "size": size,
+                        "throughput_bps": {},
+                    }
+                    for transport, mode in VARIANTS:
+                        scenario = ScenarioConfig(
+                            profile=pname, seed=17, transport=transport,
+                            faults=FaultProfile(drop_prob=loss) if loss else None,
+                            reliability=replace(rel0, mode=mode))
+                        cfg = BlastConfig(
+                            total_messages=msgs, sizes=FixedSizes(size),
+                            recv_buffer_bytes=max(size, 64 * KIB),
+                            outstanding_sends=4 if size >= 256 * KIB else 8,
+                            outstanding_recvs=8)
+                        r = run_blast(cfg, scenario=scenario, max_events=100_000_000)
+                        assert r.total_bytes == msgs * size
+                        key = f"{transport}/{mode}"
+                        cell["throughput_bps"][key] = r.throughput_bps
+                    cell["best"] = max(cell["throughput_bps"],
+                                       key=cell["throughput_bps"].get)
+                    grid.append(cell)
+        return grid
+
+    grid = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["crossover_grid"] = grid
+
+    def cell(pname, loss, size):
+        return next(c for c in grid
+                    if c["profile"] == pname and c["loss"] == loss and c["size"] == size)
+
+    # shape claims the bake-off established (deterministic, seed-pinned):
+    # the zero-copy WWI plane owns large messages on a clean fast link...
+    big = cell("fdr", 0.0, 256 * KIB)
+    assert big["best"].startswith("wwi")
+    # ...while eager SEND-RECV wins tiny messages there (no ADVERT
+    # dependency, one control message less per transfer)
+    tiny = cell("fdr", 0.0, 512)
+    assert tiny["best"].startswith("eager_rendezvous")
+    # and under loss, selective repeat never does worse than go-back-N on
+    # the same plane (it retransmits a subset of GBN's frames)
+    for c in grid:
+        if c["loss"] == 0:
+            continue
+        t = c["throughput_bps"]
+        assert t["wwi/selective_repeat"] >= 0.99 * t["wwi/gobackn"]

@@ -17,10 +17,16 @@ under fault injection) can be audited without re-simulating it:
   backwards;
 * **copy-range sanity** — ring copy-outs cover non-overlapping,
   non-decreasing stream ranges;
-* **conservation** — a FIN is recorded on the *sending* direction and its
-  sequence number must equal that direction's transferred byte total; when
-  the ``conn_open`` peer mapping is present, the peer direction must have
-  delivered exactly that many bytes.
+* **conservation** — a FIN is recorded on the *sending* direction **at
+  most once** and its sequence number must equal that direction's
+  transferred byte total; no data may be delivered after an EOF was
+  signalled; when the ``conn_open`` peer mapping is present, the peer
+  direction must have delivered exactly that many bytes.
+
+The eager/rendezvous transport's ``eager``/``rendezvous`` transfer events
+are audited for stream contiguity exactly like ``direct``/``indirect``
+(they carry no phases — the RTS/CTS handshake replaces the phase
+machinery).
 
 :func:`audit_spans` additionally lifts :mod:`repro.obs` message spans and
 checks stage ordering and per-span byte accounting.
@@ -101,12 +107,13 @@ def audit_events(events: Iterable[TraceEvent]) -> AuditReport:
         copy_edge = -1
         delivered = 0
         fin_seq: Optional[int] = None
+        eof_seen = False
 
         def flag(claim: str, detail: str, e: TraceEvent) -> None:
             v.append(AuditViolation(claim, detail, e.time_ns, conn, host))
 
         for e in evs:
-            if e.kind in ("direct", "indirect"):
+            if e.kind in ("direct", "indirect", "eager", "rendezvous"):
                 seq, nbytes, phase = e.get("seq"), e.get("nbytes"), e.get("phase")
                 if seq != expected_seq:
                     flag(
@@ -145,8 +152,23 @@ def audit_events(events: Iterable[TraceEvent]) -> AuditReport:
                     )
                 copy_edge = max(copy_edge, seq + nbytes)
             elif e.kind == "deliver":
-                delivered += e.get("nbytes", 0)
+                nbytes = e.get("nbytes", 0)
+                if eof_seen and nbytes > 0:
+                    flag(
+                        "EOF finality",
+                        f"{nbytes} bytes delivered after EOF was signalled",
+                        e,
+                    )
+                delivered += nbytes
+                if e.get("eof"):
+                    eof_seen = True
             elif e.kind == "fin":
+                if fin_seq is not None:
+                    flag(
+                        "FIN uniqueness",
+                        f"second FIN (seq {e.get('seq')}) after FIN at {fin_seq}",
+                        e,
+                    )
                 fin_seq = e.get("seq")
 
         report.transferred[(conn, host)] = expected_seq

@@ -41,6 +41,8 @@ class FuzzCase:
     recv_buffer_bytes: int = 1 << 20
     waitall: bool = False
     mode: str = "dynamic"
+    #: EXS data-plane transport (``None`` = socket default / environment)
+    transport: Optional[str] = None
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -54,7 +56,11 @@ class FuzzCase:
         from ..apps.blast import BlastConfig
         from ..apps.workloads import ExponentialSizes
         from ..core import ProtocolMode
+        from ..exs import ExsSocketOptions
 
+        options = None
+        if self.transport is not None:
+            options = ExsSocketOptions(transport=self.transport)
         return BlastConfig(
             total_messages=self.messages,
             sizes=ExponentialSizes(mean=64 * 1024, maximum=1 << 20, seed=self.size_seed),
@@ -63,6 +69,7 @@ class FuzzCase:
             recv_buffer_bytes=self.recv_buffer_bytes,
             waitall=self.waitall,
             mode=ProtocolMode(self.mode),
+            options=options,
         )
 
 

@@ -65,6 +65,10 @@ class ScenarioConfig:
     seed: int = 0
     faults: Optional[FaultProfile] = None
     reliability: Optional[ReliabilityConfig] = None
+    #: EXS data-plane transport forced on the run's sockets: ``"wwi"``,
+    #: ``"eager_rendezvous"``, or ``None`` (socket options / environment
+    #: decide; see :meth:`repro.exs.ExsSocketOptions.effective_transport`)
+    transport: Optional[str] = None
     #: same-instant schedule policy spec: ``None`` (kernel FIFO),
     #: ``("fifo", 0)``, or ``("random", seed)``
     schedule: Optional[Tuple[str, int]] = None
@@ -88,6 +92,8 @@ class ScenarioConfig:
             raise ValueError(
                 f"unknown profile {self.profile!r} (known: {', '.join(sorted(PROFILES))})"
             )
+        if self.transport not in (None, "wwi", "eager_rendezvous"):
+            raise ValueError(f"unknown transport {self.transport!r}")
         if self.schedule is not None:
             # normalize to a plain (kind, seed) tuple and validate eagerly
             if isinstance(self.schedule, SchedulePolicy):
@@ -137,6 +143,7 @@ class ScenarioConfig:
             "seed": self.seed,
             "faults": dataclasses.asdict(self.faults) if self.faults else None,
             "reliability": dataclasses.asdict(self.reliability) if self.reliability else None,
+            "transport": self.transport,
             "schedule": list(self.schedule) if self.schedule else None,
             "telemetry": self.telemetry,
             "telemetry_dir": self.telemetry_dir,
@@ -155,6 +162,7 @@ class ScenarioConfig:
             seed=int(data.get("seed", 0)),
             faults=FaultProfile(**faults) if faults else None,
             reliability=ReliabilityConfig(**reliability) if reliability else None,
+            transport=data.get("transport"),
             schedule=tuple(schedule) if schedule else None,
             telemetry=bool(data.get("telemetry", False)),
             telemetry_dir=data.get("telemetry_dir"),

@@ -25,7 +25,14 @@ from .connection import ExsConnection
 from .control import AdvertMsg, CreditMsg, FinMsg, RingAckMsg
 from .credits import CreditError, CreditManager
 from .eventqueue import ExsEvent, ExsEventQueue, ExsEventType
-from .flags import ExsSocketOptions, MsgFlags, SocketType
+from .flags import (
+    TRANSPORT_EAGER_RENDEZVOUS,
+    TRANSPORT_WWI,
+    ExsSocketOptions,
+    MsgFlags,
+    SocketType,
+)
+from .rendezvous import RdvReceiverHalf, RdvSenderHalf
 from .socket import ExsError, ExsSocket, ExsStack
 from .stream_receiver import StreamReceiverHalf, UserRecv
 from .stream_sender import StreamSenderHalf, UserSend
@@ -46,8 +53,12 @@ __all__ = [
     "ExsStack",
     "FinMsg",
     "MsgFlags",
+    "RdvReceiverHalf",
+    "RdvSenderHalf",
     "RingAckMsg",
     "SocketType",
+    "TRANSPORT_EAGER_RENDEZVOUS",
+    "TRANSPORT_WWI",
     "StreamReceiverHalf",
     "StreamSenderHalf",
     "UserRecv",

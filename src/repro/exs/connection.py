@@ -44,16 +44,21 @@ from .control import (
     AdvertMsg,
     ControlMsg,
     CreditMsg,
+    CtsMsg,
     DataNotifyMsg,
+    EagerDataMsg,
     FinMsg,
     IMM_DIRECT,
     IMM_INDIRECT,
+    IMM_RENDEZVOUS,
     RingAckMsg,
+    RtsMsg,
     decode_imm,
 )
 from .credits import CreditError, CreditManager
 from .eventqueue import ExsEvent, ExsEventType
-from .flags import ExsSocketOptions, SocketType
+from .flags import ExsSocketOptions, SocketType, TRANSPORT_EAGER_RENDEZVOUS
+from .rendezvous import RdvReceiverHalf, RdvSenderHalf
 from .seqpacket import SeqPacketReceiverHalf, SeqPacketSenderHalf
 from .stream_receiver import StreamReceiverHalf
 from .stream_sender import StreamSenderHalf
@@ -104,8 +109,6 @@ class ExsConnection:
         self.qp: QueuePair = device.create_qp(self.cq, self.cq)
 
         self.credits: Optional[CreditManager] = None  # set once hello exchanged
-        self._recv_pool_buf = host.alloc(RECV_BUF_BYTES, real=False, label=f"exs{self.conn_id}:ctrl")
-        self._recv_pool_mr = device.register(self._recv_pool_buf)
 
         # statistics (tx = our sender half, rx = our receiver half)
         self.tx_stats = ProtocolStats()
@@ -116,15 +119,50 @@ class ExsConnection:
         self.copy_meter = CopyMeter()
 
         self.socket_type = socket_type
-        if socket_type is SocketType.SOCK_STREAM:
-            # intermediate ring for data we RECEIVE
-            self.ring_buffer = host.alloc(
-                options.ring_capacity, real=options.real_data, label=f"exs{self.conn_id}:ring"
+        self.transport = (
+            options.effective_transport()
+            if socket_type is SocketType.SOCK_STREAM else "wwi"
+        )
+        if self.transport == TRANSPORT_EAGER_RENDEZVOUS:
+            # Eager payloads are DMA-placed into per-RECV bounce slots, so
+            # every slot must fit the largest eager message; the slot copy
+            # is the eager path's first metered copy.
+            self._slot_bytes = max(RECV_BUF_BYTES, options.eager_threshold)
+            self.recv_pool_buf = host.alloc(
+                options.credits * self._slot_bytes,
+                real=options.real_data,
+                label=f"exs{self.conn_id}:eager",
             )
-            self.ring_buffer.meter = self.copy_meter
-            self.ring_mr = device.register(self.ring_buffer)
-            self.tx = StreamSenderHalf(self)
-            self.rx = StreamReceiverHalf(self, self.ring_buffer, self.ring_mr)
+            self.recv_pool_buf.meter = self.copy_meter
+            self._free_slots = list(range(options.credits - 1, -1, -1))
+        else:
+            # Control messages carry their payload as a python object, so a
+            # single shared synthetic buffer backs the whole pool.
+            self._slot_bytes = None
+            self.recv_pool_buf = host.alloc(
+                RECV_BUF_BYTES, real=False, label=f"exs{self.conn_id}:ctrl"
+            )
+            self._free_slots = None
+        self._recv_pool_buf = self.recv_pool_buf
+        self._recv_pool_mr = device.register(self.recv_pool_buf)
+
+        if socket_type is SocketType.SOCK_STREAM:
+            if self.transport == TRANSPORT_EAGER_RENDEZVOUS:
+                # no intermediate ring: staging happens in the bounce slots
+                self.ring_buffer = None
+                self.ring_mr = None
+                self.tx = RdvSenderHalf(self)
+                self.rx = RdvReceiverHalf(self)
+            else:
+                # intermediate ring for data we RECEIVE
+                self.ring_buffer = host.alloc(
+                    options.ring_capacity, real=options.real_data,
+                    label=f"exs{self.conn_id}:ring"
+                )
+                self.ring_buffer.meter = self.copy_meter
+                self.ring_mr = device.register(self.ring_buffer)
+                self.tx = StreamSenderHalf(self)
+                self.rx = StreamReceiverHalf(self, self.ring_buffer, self.ring_mr)
         else:
             self.ring_buffer = None
             self.ring_mr = None
@@ -164,6 +202,7 @@ class ExsConnection:
             "credits": self.options.credits,
             "mode": self.options.mode.value,
             "socket_type": self.socket_type.value,
+            "transport": self.transport,
             # lets telemetry pair the two endpoints of one socket pair,
             # which span stitching needs to follow a message across hosts
             "conn_id": self.conn_id,
@@ -175,12 +214,35 @@ class ExsConnection:
             self._post_recv_wr()
 
     def _post_recv_wr(self) -> None:
+        if self._slot_bytes is None:
+            self.qp.post_recv(
+                RecvWR(
+                    wr_id=self.next_wr_id(),
+                    sge=SGE(self._recv_pool_mr.addr, RECV_BUF_BYTES, self._recv_pool_mr.lkey),
+                )
+            )
+            return
+        slot = self._free_slots.pop()
         self.qp.post_recv(
             RecvWR(
                 wr_id=self.next_wr_id(),
-                sge=SGE(self._recv_pool_mr.addr, RECV_BUF_BYTES, self._recv_pool_mr.lkey),
+                sge=SGE(
+                    self._recv_pool_mr.addr + self.eager_slot_offset(slot),
+                    self._slot_bytes,
+                    self._recv_pool_mr.lkey,
+                ),
+                context=slot,
             )
         )
+
+    def eager_slot_offset(self, slot: int) -> int:
+        """Byte offset of bounce slot *slot* within the receive pool."""
+        return slot * self._slot_bytes
+
+    def recycle_eager_slot(self, slot: int) -> None:
+        """An eager payload was copied out: repost its slot, return the credit."""
+        self._free_slots.append(slot)
+        self._recycle_recv(None)
 
     def on_peer_hello(self, peer: dict) -> None:
         """Complete setup from the peer's hello and start the engine."""
@@ -193,6 +255,11 @@ class ExsConnection:
             raise ValueError(
                 f"socket type mismatch: local {self.socket_type.value!r}, "
                 f"peer {peer.get('socket_type')!r}"
+            )
+        if peer.get("transport", "wwi") != self.transport:
+            raise ValueError(
+                f"transport mismatch: local {self.transport!r}, "
+                f"peer {peer.get('transport')!r}"
             )
         self.credits = CreditManager(
             initial_remote=int(peer["credits"]),
@@ -452,16 +519,24 @@ class ExsConnection:
                 chunk.pin.release()
             self.tx.on_data_acked(usend, chunk.nbytes)
         elif wc.opcode is WCOpcode.SEND:
-            # control message send completion
+            # control (or eager-data) message send completion
             yield from self.charge(self.costs.completion_ns)
-            if isinstance(wc.context, tuple) and wc.context and wc.context[0] == "fin":
-                self.tx.fin_acked = True
+            if isinstance(wc.context, tuple) and wc.context:
+                if wc.context[0] == "fin":
+                    self.tx.fin_acked = True
+                elif wc.context[0] == "eager":
+                    # the peer's bounce slot holds the bytes now: the user
+                    # may reuse the send buffer, so drop the in-flight view
+                    _kind, usend, chunk = wc.context
+                    if chunk.pin is not None:
+                        chunk.pin.release()
+                    self.tx.on_data_acked(usend, chunk.nbytes)
         else:  # pragma: no cover - defensive
             raise RuntimeError(f"unexpected completion opcode {wc.opcode}")
 
     def _handle_data_arrival(self, wc: WorkCompletion):
         yield from self.charge(self.costs.completion_ns)
-        self._recycle_recv()
+        self._recycle_recv(wc)
         kind, advert_id = decode_imm(wc.imm_data)
         chunk: Chunk = wc.meta["chunk"]
         remote_addr: int = wc.meta["remote_addr"]
@@ -469,17 +544,28 @@ class ExsConnection:
             self.rx.on_direct_arrival(advert_id, wc.byte_len, chunk.stream_offset, remote_addr)
         elif kind == IMM_INDIRECT:
             self.rx.on_indirect_arrival(wc.byte_len, chunk.stream_offset, remote_addr)
+        elif kind == IMM_RENDEZVOUS:
+            self.rx.on_rendezvous_arrival(wc.byte_len, chunk.stream_offset)
         else:  # pragma: no cover - defensive
             raise RuntimeError(f"bad immediate {wc.imm_data:#x}")
 
     def _handle_control_arrival(self, wc: WorkCompletion):
         chunk: Chunk = wc.meta["chunk"]
         msg = chunk.obj
-        # Dispatching a data notification does the same work as a WWI
-        # receive completion; other control messages are lighter.
-        cost = self.costs.completion_ns if isinstance(msg, DataNotifyMsg) else self.costs.control_ns
+        # Dispatching a data arrival does the same work as a WWI receive
+        # completion; other control messages are lighter.
+        data_arrival = isinstance(msg, (DataNotifyMsg, EagerDataMsg))
+        cost = self.costs.completion_ns if data_arrival else self.costs.control_ns
         yield from self.charge(cost)
-        self._recycle_recv()
+        if isinstance(msg, EagerDataMsg):
+            # The payload occupies the bounce slot until it is copied into
+            # user memory; the slot (and its credit) recycles only then —
+            # that deferral is the eager path's flow control.
+            if self.credits is not None and hasattr(msg, "credit_cum"):
+                self.credits.on_peer_grant(msg.credit_cum)
+            self.rx.on_eager_arrival(msg, wc.context)
+            return
+        self._recycle_recv(wc)
         if self.credits is not None and hasattr(msg, "credit_cum"):
             self.credits.on_peer_grant(msg.credit_cum)
         if isinstance(msg, AdvertMsg):
@@ -501,11 +587,17 @@ class ExsConnection:
             self.credits.on_peer_grant(msg.credit_cum)
         elif isinstance(msg, FinMsg):
             self.rx.on_fin(msg.final_seq)
+        elif isinstance(msg, RtsMsg):
+            self.rx.on_rts(msg)
+        elif isinstance(msg, CtsMsg):
+            self.tx.on_cts(msg)
         else:  # pragma: no cover - defensive
             raise RuntimeError(f"unknown control message {msg!r}")
 
-    def _recycle_recv(self) -> None:
+    def _recycle_recv(self, wc: Optional[WorkCompletion] = None) -> None:
         """Repost the consumed RECV and account the credit to grant back."""
+        if wc is not None and self._slot_bytes is not None and wc.context is not None:
+            self._free_slots.append(wc.context)
         self._post_recv_wr()
         if self.credits is not None:
             self.credits.on_local_repost()

@@ -25,11 +25,16 @@ __all__ = [
     "RingAckMsg",
     "CreditMsg",
     "FinMsg",
+    "EagerDataMsg",
+    "RtsMsg",
+    "CtsMsg",
     "ControlMsg",
     "IMM_DIRECT",
     "IMM_INDIRECT",
+    "IMM_RENDEZVOUS",
     "encode_direct_imm",
     "encode_indirect_imm",
+    "encode_rendezvous_imm",
     "decode_imm",
 ]
 
@@ -39,6 +44,7 @@ CTRL_WIRE_BYTES = 48
 # --- immediate-data encoding (32 bits, as on real hardware) ---------------
 IMM_DIRECT = 0x1
 IMM_INDIRECT = 0x2
+IMM_RENDEZVOUS = 0x3
 _TYPE_SHIFT = 28
 _ID_MASK = (1 << _TYPE_SHIFT) - 1
 
@@ -51,6 +57,11 @@ def encode_direct_imm(advert_id: int) -> int:
 def encode_indirect_imm() -> int:
     """Immediate value for an indirect (intermediate-buffer) transfer."""
     return IMM_INDIRECT << _TYPE_SHIFT
+
+
+def encode_rendezvous_imm() -> int:
+    """Immediate value for a rendezvous WRITE into a CTS-granted buffer."""
+    return IMM_RENDEZVOUS << _TYPE_SHIFT
 
 
 def decode_imm(imm: int) -> tuple[int, int]:
@@ -104,4 +115,47 @@ class FinMsg:
     credit_cum: int = 0
 
 
-ControlMsg = Union[AdvertMsg, RingAckMsg, CreditMsg, FinMsg, DataNotifyMsg]
+# --- eager/rendezvous transport (MPICH2-over-IB style, PAPERS.md) ----------
+@dataclass(frozen=True)
+class EagerDataMsg:
+    """Sender -> receiver: a small message's payload riding a SEND.
+
+    The payload itself travels as the SEND's chunk and is DMA-placed into
+    the receiver's pre-posted bounce slot; this record (the chunk's ``obj``)
+    tags the arrival so the connection can dispatch it to the eager
+    receive path instead of the control plane.
+    """
+
+    nbytes: int
+    stream_offset: int
+    credit_cum: int = 0
+
+
+@dataclass(frozen=True)
+class RtsMsg:
+    """Sender -> receiver: request-to-send for a large (rendezvous) message."""
+
+    nbytes: int
+    stream_offset: int
+    credit_cum: int = 0
+
+
+@dataclass(frozen=True)
+class CtsMsg:
+    """Receiver -> sender: clear-to-send — a grant of registered user memory.
+
+    One CTS authorises exactly one RDMA WRITE of ``nbytes`` into
+    ``(addr, rkey)``; a single RTS may be answered by several partial CTS
+    grants as the application posts receive buffers.
+    """
+
+    addr: int
+    rkey: int
+    nbytes: int
+    credit_cum: int = 0
+
+
+ControlMsg = Union[
+    AdvertMsg, RingAckMsg, CreditMsg, FinMsg, DataNotifyMsg,
+    EagerDataMsg, RtsMsg, CtsMsg,
+]

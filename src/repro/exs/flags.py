@@ -15,7 +15,19 @@ from typing import Optional
 
 from ..core.modes import ProtocolMode
 
-__all__ = ["SocketType", "MsgFlags", "ExsSocketOptions"]
+__all__ = [
+    "SocketType",
+    "MsgFlags",
+    "ExsSocketOptions",
+    "TRANSPORT_WWI",
+    "TRANSPORT_EAGER_RENDEZVOUS",
+]
+
+#: paper protocol: direct/indirect RDMA WRITE WITH IMM with ADVERTs
+TRANSPORT_WWI = "wwi"
+#: MPICH2-over-IB style SEND/RECV: eager copy below a threshold,
+#: RTS/CTS rendezvous into registered user memory above it
+TRANSPORT_EAGER_RENDEZVOUS = "eager_rendezvous"
 
 
 class SocketType(enum.Enum):
@@ -47,6 +59,17 @@ class ExsSocketOptions:
 
     #: stream protocol variant (dynamic, or one of the two baselines)
     mode: ProtocolMode = ProtocolMode.DYNAMIC
+    #: data-plane strategy for SOCK_STREAM: the paper's WWI protocol
+    #: (``"wwi"``) or the eager/rendezvous SEND-RECV alternative
+    #: (``"eager_rendezvous"``) used by the transport bake-off.  ``None``
+    #: (the default) resolves at connection time to the
+    #: ``REPRO_TRANSPORT`` environment variable, falling back to ``"wwi"``
+    #: — which is how the CI variant matrix forces a transport across an
+    #: unmodified test suite.
+    transport: Optional[str] = None
+    #: eager/rendezvous only: largest message sent eagerly (copied through
+    #: the receiver's bounce slots); larger messages use RTS/CTS
+    eager_threshold: int = 16 * 1024
     #: capacity of the hidden receive-side intermediate buffer
     ring_capacity: int = 16 * 1024 * 1024
     #: receive WRs posted at startup == send credits granted to the peer
@@ -80,6 +103,23 @@ class ExsSocketOptions:
     #: paper's problem statement names), and the transfer proceeds from
     #: the staging copy.  Costs one sender-side memcpy per send.
     sender_copy: bool = False
+
+    def __post_init__(self) -> None:
+        if self.transport not in (None, TRANSPORT_WWI, TRANSPORT_EAGER_RENDEZVOUS):
+            raise ValueError(f"unknown transport {self.transport!r}")
+        if self.eager_threshold <= 0:
+            raise ValueError("eager_threshold must be positive")
+
+    def effective_transport(self) -> str:
+        """Resolve the transport: explicit field, else env, else WWI."""
+        if self.transport is not None:
+            return self.transport
+        import os
+
+        env = os.environ.get("REPRO_TRANSPORT", "").strip()
+        if env and env not in (TRANSPORT_WWI, TRANSPORT_EAGER_RENDEZVOUS):
+            raise ValueError(f"unknown REPRO_TRANSPORT {env!r}")
+        return env or TRANSPORT_WWI
 
     def effective_credit_update_threshold(self) -> int:
         return self.credit_update_threshold or max(1, self.credits // 2)

@@ -59,7 +59,6 @@ class StreamReceiverHalf:
         self._last_acked_copied = 0
         #: end-of-stream sequence number from the peer's FIN, if received
         self.eof_seq: Optional[int] = None
-        self._eof_delivered = False
         #: measurement hooks (throughput equation (1) end point)
         self.first_arrival_ns: Optional[int] = None
         self.last_delivery_ns: Optional[int] = None
@@ -159,7 +158,15 @@ class StreamReceiverHalf:
         return [AdvertMsg(advert=advert) for _entry, advert in pairs]
 
     def on_fin(self, final_seq: int) -> None:
+        """Record the peer's FIN; idempotent.
+
+        A FIN retransmitted by the reliability layer (or replayed by the
+        dup fault) after the stream finished must be a no-op — re-recording
+        it could double-fire EOF delivery through :meth:`pump_eof`.
+        """
         require(self.eof_seq is None or self.eof_seq == final_seq, "FIN", "conflicting FINs")
+        if self.eof_seq is not None:
+            return
         self.eof_seq = final_seq
 
     def pump_eof(self) -> bool:

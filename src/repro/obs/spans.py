@@ -217,9 +217,12 @@ def _stitch_direction(
             i += 1
         return out
 
-    # 2. transfers and acks from the local (sender) endpoint
+    # 2. transfers and acks from the local (sender) endpoint.  The
+    # eager/rendezvous transport's transfer kinds map onto the same copy
+    # classes: a rendezvous WRITE places directly into user memory (one
+    # copy) and an eager SEND stages through a bounce slot (two copies).
     for e in local:
-        if e.kind in ("direct", "indirect"):
+        if e.kind in ("direct", "indirect", "eager", "rendezvous"):
             span = span_at(e.get("seq", -1))
             if span is None:
                 continue
@@ -227,7 +230,7 @@ def _stitch_direction(
                 span.first_post_ns = e.time_ns
             span.transfers += 1
             nbytes = e.get("nbytes", 0)
-            if e.kind == "direct":
+            if e.kind in ("direct", "rendezvous"):
                 span.direct_bytes += nbytes
             else:
                 span.indirect_bytes += nbytes

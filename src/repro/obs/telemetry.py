@@ -159,6 +159,10 @@ class Telemetry:
             ("rnr_naks_received", "RNR NAKs received"),
             ("duplicates_dropped", "duplicate arrivals discarded"),
             ("gaps_detected", "out-of-order arrivals (responder)"),
+            ("stale_acks_ignored", "stale cumulative ACK/NAKs ignored"),
+            ("sacked_frames", "frames acknowledged via SACK bitmaps"),
+            ("ooo_buffered", "out-of-order frames buffered (selective repeat)"),
+            ("ooo_released", "buffered frames released in order"),
             ("corrupt_discarded", "corrupt frames discarded"),
             ("qp_fatal", "QPs moved to ERROR after retry exhaustion"),
             ("recoveries", "completed loss-recovery episodes"),
@@ -192,6 +196,15 @@ class Telemetry:
             rx_algo = getattr(conn.rx, "algo", None)
             if rx_algo is not None and hasattr(rx_algo, "ring"):
                 out[f"{p}.rx.ring_stored"] = rx_algo.ring.stored
+            # eager/rendezvous transport: bounce-slot occupancy + handshakes
+            free_slots = getattr(conn, "_free_slots", None)
+            if free_slots is not None:
+                out[f"{p}.rx.eager_slots_free"] = len(free_slots)
+            staged = getattr(conn.rx, "staged", None)
+            if staged is not None:
+                out[f"{p}.rx.eager_staged"] = len(staged)
+                out[f"{p}.rx.rts_remaining"] = conn.rx.rts_remaining
+                out[f"{p}.tx.cts_grants_queued"] = len(conn.tx.grants)
             if conn.credits is not None:
                 out[f"{p}.credits.available"] = conn.credits.available
             meter = getattr(conn, "copy_meter", None)

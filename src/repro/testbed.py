@@ -17,6 +17,7 @@ still works as a deprecation shim; new code should describe the run as a
 
 from __future__ import annotations
 
+import os
 from dataclasses import replace
 from typing import Callable, Optional, Union
 
@@ -144,6 +145,17 @@ class Testbed:
             reliability = ReliabilityConfig.for_path(
                 profile.propagation_delay_ns + profile.emulator_delay_ns
             )
+        # The CI variant matrix forces a reliability discipline across an
+        # unmodified suite: derive a path-scaled config if none exists yet,
+        # then pin its mode.
+        mode_env = os.environ.get("REPRO_RELIABILITY_MODE", "").strip()
+        if mode_env:
+            if reliability is None:
+                reliability = ReliabilityConfig.for_path(
+                    profile.propagation_delay_ns + profile.emulator_delay_ns
+                )
+            if reliability.mode != mode_env:
+                reliability = replace(reliability, mode=mode_env)
         self.reliability = reliability
         device_config = profile.device
         if reliability is not None:

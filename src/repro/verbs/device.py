@@ -243,7 +243,7 @@ class RdmaDevice:
         if self.sim.tracing:
             self.sim.trace("rel", f"hca{self.device_id} discarded corrupt frame")
 
-    def _on_data(self, msg: DataMessage) -> None:
+    def _on_data(self, msg: DataMessage, from_buffer: bool = False) -> None:
         if msg.is_read_response:
             self._complete_read(msg)
             return
@@ -266,6 +266,10 @@ class RdmaDevice:
                         # Re-ACK so a sender whose ACK was lost advances.
                         self._send_ack_message(qp)
                 else:  # FUTURE: sequence gap
+                    if rel.selective and msg.opcode is not Opcode.RDMA_READ:
+                        # Selective repeat: hold the frame for in-order
+                        # release; the NAK advertises it in the SACK bitmap.
+                        rel.buffer_future(qp, msg)
                     rel.send_nak(qp)
                 return
             if (msg.opcode in (Opcode.SEND, Opcode.RDMA_WRITE_WITH_IMM)
@@ -289,11 +293,39 @@ class RdmaDevice:
                 if msg.seq > prev:
                     self._consumed_msn[qp.qpn] = msg.seq
             self._serve_read(msg)
+            if rel is not None and rel.selective and not from_buffer:
+                self._drain_ooo(qp, rel)
             return  # READ response acts as the ack
         else:  # pragma: no cover - defensive
             raise VerbsError(f"unexpected opcode {msg.opcode}")
 
         self._schedule_ack(qp, msg.seq)
+        if rel is not None and rel.selective and not from_buffer:
+            self._drain_ooo(qp, rel)
+
+    def _drain_ooo(self, qp: QueuePair, rel: ReliabilityEngine) -> None:
+        """Release buffered out-of-order frames now contiguous with the
+        consumed msn, in order, through the normal placement path.
+
+        A release can stall mid-run (e.g. a buffered SEND hitting an empty
+        receive queue raises RNR); the blocked frame then stays buffered and
+        the requester's RNR retransmit of the window head re-triggers
+        delivery.  If frames remain buffered behind a *new* gap, a fresh NAK
+        (the responder's rate limit is per expected seq, which just moved)
+        tells the requester which holes to fill.
+        """
+        while True:
+            consumed = self._consumed_msn.get(qp.qpn, -1)
+            rel.purge_buffered_through(qp, consumed)
+            buffered = rel.peek_buffered(qp, consumed + 1)
+            if buffered is None:
+                if rel.has_buffered(qp):
+                    rel.send_nak(qp)
+                return
+            self._on_data(buffered, from_buffer=True)
+            if self._consumed_msn.get(qp.qpn, -1) <= consumed:
+                return  # blocked (RNR or dead QP); keep the frame buffered
+            rel.pop_buffered(qp, buffered.seq)
 
     def _place_send(self, qp: QueuePair, msg: DataMessage) -> None:
         if not qp.rq:
@@ -430,7 +462,9 @@ class RdmaDevice:
             if self.sim.tracing:
                 self.sim.trace("rel", f"hca{self.device_id} {kind} msn={msn} lost")
             return
-        ack = AckMessage(dst_qpn=qp.remote_qpn, msn=msn, kind=kind)
+        sack = (self.reliability.sack_bitmap(qp)
+                if self.reliability is not None else 0)
+        ack = AckMessage(dst_qpn=qp.remote_qpn, msn=msn, kind=kind, sack=sack)
         delay = self.config.ack_turnaround_ns + self.link.sample_propagation_ns(self.endpoint)
         self.sim.call_in(delay, self.peer._on_ack, ack)
         if self.sim._recorder is not None:
@@ -458,11 +492,11 @@ class RdmaDevice:
             if qp.state is QPState.ERROR:
                 return
             if ack.kind == "nak":
-                done = rel.on_nak(qp, ack.msn)
+                done = rel.on_nak(qp, ack.msn, ack.sack)
             elif ack.kind == "rnr":
-                done = rel.on_rnr(qp, ack.msn)
+                done = rel.on_rnr(qp, ack.msn, ack.sack)
             else:
-                done = rel.on_ack(qp, ack.msn)
+                done = rel.on_ack(qp, ack.msn, ack.sack)
         for wr in done:
             qp.send_cq.push(
                 WorkCompletion(

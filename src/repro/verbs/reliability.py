@@ -52,12 +52,17 @@ if TYPE_CHECKING:  # pragma: no cover
     from .wr import SendWR
 
 __all__ = ["ReliabilityConfig", "ReliabilityStats", "ReliabilityEngine",
-           "ACCEPT", "DUPLICATE", "FUTURE"]
+           "ACCEPT", "DUPLICATE", "FUTURE",
+           "MODE_GO_BACK_N", "MODE_SELECTIVE_REPEAT"]
 
 #: verdicts from :meth:`ReliabilityEngine.check_incoming`
 ACCEPT = "accept"
 DUPLICATE = "duplicate"
 FUTURE = "future"
+
+#: reliability disciplines selectable via :attr:`ReliabilityConfig.mode`
+MODE_GO_BACK_N = "gobackn"
+MODE_SELECTIVE_REPEAT = "selective_repeat"
 
 
 @dataclass(frozen=True)
@@ -76,6 +81,15 @@ class ReliabilityConfig:
     backoff: float = 2.0
     #: ceiling on the backed-off timeout
     max_timeout_ns: int = 50_000_000
+    #: reliability discipline: :data:`MODE_GO_BACK_N` (cumulative ACK, whole
+    #: window resent on loss) or :data:`MODE_SELECTIVE_REPEAT` (SACK bitmap
+    #: piggybacked on ACKs, out-of-order buffering, per-frame retransmit
+    #: deadlines).
+    mode: str = MODE_GO_BACK_N
+    #: hard cap on the backed-off RTO; ``None`` falls back to
+    #: ``max_timeout_ns``.  The cap is enforced *during* the backoff
+    #: computation, so a large attempt count can never overflow.
+    max_rto_ns: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.retry_timeout_ns <= 0 or self.rnr_timeout_ns <= 0:
@@ -84,6 +98,10 @@ class ReliabilityConfig:
             raise ValueError("retry budgets must be >= 0")
         if self.backoff < 1.0:
             raise ValueError("backoff must be >= 1.0")
+        if self.mode not in (MODE_GO_BACK_N, MODE_SELECTIVE_REPEAT):
+            raise ValueError(f"unknown reliability mode {self.mode!r}")
+        if self.max_rto_ns is not None and self.max_rto_ns <= 0:
+            raise ValueError("max_rto_ns must be positive")
 
     @classmethod
     def for_path(cls, one_way_ns: int, **kw: object) -> "ReliabilityConfig":
@@ -117,15 +135,24 @@ class ReliabilityStats:
     recoveries: int = 0
     recovery_ns_total: int = 0
     recovery_ns_max: int = 0
+    #: stale cumulative ACK/NAK/RNR frames ignored (dup fault replays)
+    stale_acks_ignored: int = 0
+    #: selective repeat: frames marked received via a SACK bitmap
+    sacked_frames: int = 0
+    #: selective repeat: out-of-order frames buffered at the responder
+    ooo_buffered: int = 0
+    #: selective repeat: buffered frames released in order after a gap fill
+    ooo_released: int = 0
 
 
 class _SentMessage:
     """One transmitted-but-unacked message, replayable verbatim."""
 
-    __slots__ = ("seq", "wr", "msg", "wire_bytes", "extra_tx_ns", "request_acked")
+    __slots__ = ("seq", "wr", "msg", "wire_bytes", "extra_tx_ns", "request_acked",
+                 "sacked", "last_tx_ns")
 
     def __init__(self, seq: int, wr: "SendWR", msg: DataMessage,
-                 wire_bytes: int, extra_tx_ns: int) -> None:
+                 wire_bytes: int, extra_tx_ns: int, now: int) -> None:
         self.seq = seq
         self.wr = wr
         self.msg = msg
@@ -134,6 +161,13 @@ class _SentMessage:
         #: READ only: the cumulative ACK covered the request, but the
         #: response (which is the real completion) is still outstanding.
         self.request_acked = False
+        #: selective repeat: the responder reported this frame received
+        #: out of order — it must not be retransmitted, but completes only
+        #: when the cumulative ack covers it (completions stay in order).
+        self.sacked = False
+        #: selective repeat: last (re)transmission time, for the per-frame
+        #: retransmit deadline
+        self.last_tx_ns = now
 
 
 class _QpRel:
@@ -141,7 +175,7 @@ class _QpRel:
 
     __slots__ = ("unacked", "attempts", "rnr_attempts", "highest_acked",
                  "timer_gen", "timer_armed", "last_progress_ns",
-                 "recovering_since", "last_nak_for", "fatal")
+                 "recovering_since", "last_nak_for", "fatal", "ooo")
 
     def __init__(self) -> None:
         #: seq -> _SentMessage, insertion-ordered (dict preserves order)
@@ -156,6 +190,8 @@ class _QpRel:
         #: responder: expected seq we already NAKed (rate-limits NAK storms)
         self.last_nak_for: Optional[int] = None
         self.fatal = False
+        #: responder, selective repeat: seq -> buffered out-of-order arrival
+        self.ooo: Dict[int, DataMessage] = {}
 
 
 class ReliabilityEngine:
@@ -166,6 +202,8 @@ class ReliabilityEngine:
         self.config = config
         self.stats = ReliabilityStats()
         self._qp_state: Dict[int, _QpRel] = {}
+        #: True when running the selective-repeat discipline
+        self.selective = config.mode == MODE_SELECTIVE_REPEAT
 
     def _st(self, qp: "QueuePair") -> _QpRel:
         st = self._qp_state.get(qp.qpn)
@@ -191,15 +229,29 @@ class ReliabilityEngine:
                     wire_bytes: int, extra_tx_ns: int) -> None:
         """Record a freshly transmitted message and ensure a timer covers it."""
         st = self._st(qp)
-        st.unacked[msg.seq] = _SentMessage(msg.seq, wr, msg, wire_bytes, extra_tx_ns)
+        now = self.device.sim.now
+        st.unacked[msg.seq] = _SentMessage(msg.seq, wr, msg, wire_bytes,
+                                           extra_tx_ns, now)
         if not st.timer_armed:
-            st.last_progress_ns = self.device.sim.now
+            st.last_progress_ns = now
             self._arm(qp, st, self._current_rto(st))
 
     def _current_rto(self, st: _QpRel) -> int:
+        """Backed-off RTO, clamped to ``max_rto_ns``/``max_timeout_ns``.
+
+        The backoff is applied stepwise and stops as soon as it crosses the
+        cap: evaluating ``backoff ** attempts`` first would overflow to an
+        effectively unbounded timer after a long link-down window.
+        """
         cfg = self.config
-        rto = int(cfg.retry_timeout_ns * cfg.backoff ** st.attempts)
-        return min(rto, cfg.max_timeout_ns)
+        cap = cfg.max_rto_ns if cfg.max_rto_ns is not None else cfg.max_timeout_ns
+        rto = float(cfg.retry_timeout_ns)
+        if cfg.backoff > 1.0:
+            for _ in range(st.attempts):
+                rto *= cfg.backoff
+                if rto >= cap:
+                    return cap
+        return min(int(rto), cap)
 
     def _arm(self, qp: "QueuePair", st: _QpRel, delay: int) -> None:
         st.timer_gen += 1
@@ -214,6 +266,9 @@ class ReliabilityEngine:
         st.timer_armed = False
         if not st.unacked:
             return  # everything acked since arming; go quiet
+        if self.selective:
+            self._on_timer_sr(qp, st)
+            return
         sim = self.device.sim
         rto = self._current_rto(st)
         elapsed = sim.now - st.last_progress_ns
@@ -236,13 +291,75 @@ class ReliabilityEngine:
         st.last_progress_ns = sim.now
         self._arm(qp, st, self._current_rto(st))
 
+    def _on_timer_sr(self, qp: "QueuePair", st: _QpRel) -> None:
+        """Selective repeat: retransmit only frames past their own deadline.
+
+        One calendar timer per QP still covers the whole window; each frame
+        carries its own last-transmission time, so a firing that finds no
+        overdue un-SACKed frame simply re-arms at the earliest deadline.
+        """
+        sim = self.device.sim
+        rto = self._current_rto(st)
+        overdue = [sm for sm in st.unacked.values()
+                   if not sm.sacked and sim.now - sm.last_tx_ns >= rto]
+        if not overdue:
+            next_deadline = min(
+                (sm.last_tx_ns + rto for sm in st.unacked.values()
+                 if not sm.sacked),
+                default=sim.now + rto)
+            self._arm(qp, st, max(next_deadline - sim.now, 1))
+            return
+        st.attempts += 1
+        self.stats.timeouts += 1
+        if st.attempts > self.config.retry_cnt:
+            self.fatal(qp, WCStatus.RETRY_EXC_ERR)
+            return
+        if st.recovering_since is None:
+            st.recovering_since = sim.now
+        if sim.tracing:
+            sim.trace("rel", f"qp{qp.qpn} sr-timeout#{st.attempts} "
+                             f"retransmit {len(overdue)} msgs")
+        self._resend(qp, overdue, cause="timeout", attempt=st.attempts)
+        st.last_progress_ns = sim.now
+        self._arm(qp, st, self._current_rto(st))
+
+    def _resend(self, qp: "QueuePair", frames: List[_SentMessage],
+                **why: object) -> None:
+        tx = self.device.tx
+        now = self.device.sim.now
+        for sm in frames:
+            tx.transmit(sm.msg, sm.wire_bytes, extra_tx_ns=sm.extra_tx_ns)
+            sm.last_tx_ns = now
+        self.stats.retransmits += len(frames)
+        if frames:
+            self._emit("retransmit", qp, count=len(frames), **why)
+
     def _retransmit_window(self, qp: "QueuePair", st: _QpRel,
                            **why: object) -> None:
-        tx = self.device.tx
-        for sm in st.unacked.values():
-            tx.transmit(sm.msg, sm.wire_bytes, extra_tx_ns=sm.extra_tx_ns)
-        self.stats.retransmits += len(st.unacked)
-        self._emit("retransmit", qp, count=len(st.unacked), **why)
+        self._resend(qp, list(st.unacked.values()), **why)
+
+    def _retransmit_holes(self, qp: "QueuePair", st: _QpRel,
+                          **why: object) -> None:
+        """Selective repeat NAK response: resend only the known holes.
+
+        A hole is an un-SACKed frame at or below the highest SACKed seq.
+        With no SACK information yet, only the window head (the frame the
+        NAK names as missing) is resent — everything later may still be in
+        flight.
+        """
+        max_sacked = max(
+            (seq for seq, sm in st.unacked.items() if sm.sacked), default=None)
+        targets: List[_SentMessage] = []
+        for seq, sm in st.unacked.items():
+            if sm.sacked:
+                continue
+            if max_sacked is None:
+                targets.append(sm)
+                break
+            if seq > max_sacked:
+                break
+            targets.append(sm)
+        self._resend(qp, targets, **why)
 
     def _progress(self, st: _QpRel) -> None:
         sim = self.device.sim
@@ -257,15 +374,15 @@ class ReliabilityEngine:
                 self.stats.recovery_ns_max = dt
             st.recovering_since = None
 
-    def on_ack(self, qp: "QueuePair", msn: int) -> List["SendWR"]:
-        """Cumulative ACK: complete the covered window prefix.
+    def _complete_through(self, qp: "QueuePair", st: _QpRel,
+                          msn: int) -> List["SendWR"]:
+        """Complete the window prefix covered by a cumulative *msn*.
 
         READ requests covered by *msn* are marked acked but stay in the
         window until their response arrives — the response is the real
         completion (and its loss must still be recoverable by timeout).
         Returns the completed WRs in order.
         """
-        st = self._st(qp)
         done: List["SendWR"] = []
         for seq in list(st.unacked):
             if seq > msn:
@@ -277,9 +394,39 @@ class ReliabilityEngine:
             del st.unacked[seq]
             qp.inflight.pop(seq, None)
             done.append(sm.wr)
-        if msn > st.highest_acked:
-            st.highest_acked = msn
-            self._progress(st)
+        return done
+
+    def _apply_sack(self, st: _QpRel, msn: int, sack: int) -> None:
+        """Mark window frames the responder reports buffered out of order."""
+        seq = msn + 1
+        while sack:
+            if sack & 1:
+                sm = st.unacked.get(seq)
+                if sm is not None and not sm.sacked:
+                    sm.sacked = True
+                    self.stats.sacked_frames += 1
+            sack >>= 1
+            seq += 1
+
+    def on_ack(self, qp: "QueuePair", msn: int, sack: int = 0) -> List["SendWR"]:
+        """Cumulative ACK: complete the covered window prefix.
+
+        An *msn* at or below the already-acked point is a stale duplicate
+        (the dup fault replays data frames, and every duplicate is re-ACKed)
+        — it carries no new progress and must not reset the retransmission
+        timer or the attempt counters.  A piggybacked SACK bitmap is applied
+        either way: it can carry fresh receive information even when the
+        cumulative point is old.
+        """
+        st = self._st(qp)
+        if sack:
+            self._apply_sack(st, msn, sack)
+        if msn <= st.highest_acked:
+            self.stats.stale_acks_ignored += 1
+            return []
+        done = self._complete_through(qp, st, msn)
+        st.highest_acked = msn
+        self._progress(st)
         return done
 
     def on_read_response(self, qp: "QueuePair", seq: int) -> Optional["SendWR"]:
@@ -293,11 +440,28 @@ class ReliabilityEngine:
         self._progress(st)
         return sm.wr
 
-    def on_nak(self, qp: "QueuePair", msn: int) -> List["SendWR"]:
-        """Sequence-gap NAK: ack the prefix, then go-back-N from ``msn+1``."""
+    def on_nak(self, qp: "QueuePair", msn: int, sack: int = 0) -> List["SendWR"]:
+        """Sequence-gap NAK: ack the prefix, then retransmit the gap.
+
+        Go-back-N resends the whole window from ``msn+1``; selective repeat
+        resends only the known holes (un-SACKed frames below the highest
+        SACKed seq).  A NAK whose *msn* regressed below the already-acked
+        point is stale (replayed by the dup fault or overtaken by a newer
+        ACK) and is ignored outright — retransmitting from it would only
+        extend the timer and delay recovery.
+        """
         st = self._st(qp)
         self.stats.naks_received += 1
-        done = self.on_ack(qp, msn)
+        if sack:
+            self._apply_sack(st, msn, sack)
+        if msn < st.highest_acked:
+            self.stats.stale_acks_ignored += 1
+            return []
+        done: List["SendWR"] = []
+        if msn > st.highest_acked:
+            done = self._complete_through(qp, st, msn)
+            st.highest_acked = msn
+            self._progress(st)
         if st.fatal:
             return done
         if st.recovering_since is None:
@@ -305,18 +469,36 @@ class ReliabilityEngine:
         if st.unacked:
             if self.device.sim.tracing:
                 self.device.sim.trace(
-                    "rel", f"qp{qp.qpn} nak msn={msn} go-back-{len(st.unacked)}")
-            self._retransmit_window(qp, st, cause="nak", msn=msn)
+                    "rel", f"qp{qp.qpn} nak msn={msn} "
+                           f"{'holes' if self.selective else 'go-back'}-"
+                           f"{len(st.unacked)}")
+            if self.selective:
+                self._retransmit_holes(qp, st, cause="nak", msn=msn)
+            else:
+                self._retransmit_window(qp, st, cause="nak", msn=msn)
             st.last_progress_ns = self.device.sim.now
             if not st.timer_armed:
                 self._arm(qp, st, self._current_rto(st))
         return done
 
-    def on_rnr(self, qp: "QueuePair", msn: int) -> List["SendWR"]:
-        """RNR NAK: ack the prefix, pause, then re-send the window."""
+    def on_rnr(self, qp: "QueuePair", msn: int, sack: int = 0) -> List["SendWR"]:
+        """RNR NAK: ack the prefix, pause, then re-send the window.
+
+        Stale RNR frames (msn below the acked point) are ignored without
+        consuming the ``rnr_retry`` budget or superseding the live timer.
+        """
         st = self._st(qp)
         self.stats.rnr_naks_received += 1
-        done = self.on_ack(qp, msn)
+        if sack:
+            self._apply_sack(st, msn, sack)
+        if msn < st.highest_acked:
+            self.stats.stale_acks_ignored += 1
+            return []
+        done: List["SendWR"] = []
+        if msn > st.highest_acked:
+            done = self._complete_through(qp, st, msn)
+            st.highest_acked = msn
+            self._progress(st)
         if st.fatal:
             return done
         st.rnr_attempts += 1
@@ -340,7 +522,15 @@ class ReliabilityEngine:
         st.timer_armed = False
         if not st.unacked:
             return
-        self._retransmit_window(qp, st, cause="rnr")
+        if self.selective:
+            # The window head must go out even if SACKed: the responder
+            # buffered it before hitting RNR, and only its in-order
+            # re-arrival re-triggers delivery once receives are posted.
+            frames = [sm for i, sm in enumerate(st.unacked.values())
+                      if i == 0 or not sm.sacked]
+            self._resend(qp, frames, cause="rnr")
+        else:
+            self._retransmit_window(qp, st, cause="rnr")
         st.last_progress_ns = self.device.sim.now
         self._arm(qp, st, self._current_rto(st))
 
@@ -355,8 +545,51 @@ class ReliabilityEngine:
             return ACCEPT
         if msg.seq < expected:
             return DUPLICATE
+        if self.selective and msg.seq in self._st(qp).ooo:
+            return DUPLICATE  # already buffered out of order
         self.stats.gaps_detected += 1
         return FUTURE
+
+    def buffer_future(self, qp: "QueuePair", msg: DataMessage) -> None:
+        """Selective repeat: hold a future frame for in-order release."""
+        st = self._st(qp)
+        st.ooo[msg.seq] = msg
+        self.stats.ooo_buffered += 1
+
+    def peek_buffered(self, qp: "QueuePair", seq: int) -> Optional[DataMessage]:
+        st = self._qp_state.get(qp.qpn)
+        return st.ooo.get(seq) if st is not None else None
+
+    def pop_buffered(self, qp: "QueuePair", seq: int) -> None:
+        st = self._qp_state.get(qp.qpn)
+        if st is not None and st.ooo.pop(seq, None) is not None:
+            self.stats.ooo_released += 1
+
+    def purge_buffered_through(self, qp: "QueuePair", msn: int) -> None:
+        """Drop buffered frames the cumulative point has overtaken (a
+        blocked frame can be re-delivered in order by an RNR retransmit
+        while its buffered copy is still held)."""
+        st = self._qp_state.get(qp.qpn)
+        if st is None:
+            return
+        for seq in [s for s in st.ooo if s <= msn]:
+            del st.ooo[seq]
+
+    def has_buffered(self, qp: "QueuePair") -> bool:
+        st = self._qp_state.get(qp.qpn)
+        return bool(st is not None and st.ooo)
+
+    def sack_bitmap(self, qp: "QueuePair") -> int:
+        """Bitmap of buffered seqs above the consumed msn (bit i ⇒ msn+1+i)."""
+        st = self._qp_state.get(qp.qpn)
+        if st is None or not st.ooo:
+            return 0
+        base = self.device._consumed_msn.get(qp.qpn, -1) + 1
+        bits = 0
+        for seq in st.ooo:
+            if seq >= base:
+                bits |= 1 << (seq - base)
+        return bits
 
     def send_nak(self, qp: "QueuePair") -> None:
         """NAK the current gap (once per expected seq, to avoid storms)."""
@@ -388,6 +621,7 @@ class ReliabilityEngine:
         self.stats.qp_fatal += 1
         pending = [sm.wr for sm in st.unacked.values()]
         st.unacked.clear()
+        st.ooo.clear()
         self.device._qp_fatal(qp, status, pending)
 
     def peer_terminated(self, qp: "QueuePair") -> List["SendWR"]:
@@ -398,4 +632,5 @@ class ReliabilityEngine:
         st.timer_armed = False
         pending = [sm.wr for sm in st.unacked.values()]
         st.unacked.clear()
+        st.ooo.clear()
         return pending

@@ -90,6 +90,10 @@ class AckMessage:
     #: highest message sequence number consumed at the responder
     msn: int
     kind: str = "ack"  # "ack" | "nak" | "rnr"
+    #: selective-repeat only: bitmap of sequences received *above* ``msn``
+    #: (bit ``i`` set means ``msn + 1 + i`` is buffered at the responder).
+    #: Always 0 under go-back-N.
+    sack: int = 0
 
 
 @dataclass

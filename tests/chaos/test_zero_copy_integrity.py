@@ -27,7 +27,7 @@ import pytest
 from helpers import run_procs
 from repro.config import ScenarioConfig
 from repro.core import ProtocolMode
-from repro.exs import BlockingSocket, ExsEventType, ExsSocketOptions
+from repro.exs import TRANSPORT_WWI, BlockingSocket, ExsEventType, ExsSocketOptions
 from repro.hosts.memory import set_pin_debug
 from repro.simnet import FaultProfile
 from repro.testbed import Testbed
@@ -54,12 +54,20 @@ def payload_for(seed, nbytes=PAYLOAD_BYTES):
 def make_testbed(seed, faults=None, mode=None):
     scenario = ScenarioConfig(seed=seed, faults=faults)
     tb = Testbed.from_scenario(scenario)
-    options = ExsSocketOptions(mode=mode) if mode is not None else None
+    # These assertions describe the WWI plane's copy discipline (direct=1,
+    # indirect=2 copies/byte); pin the transport so a REPRO_TRANSPORT
+    # matrix run doesn't redirect them onto the eager/rendezvous plane.
+    options = ExsSocketOptions(
+        mode=mode if mode is not None else ProtocolMode.DYNAMIC,
+        transport=TRANSPORT_WWI,
+    )
     return tb, options
 
 
 def run_transfer(tb, payload, *, options=None, chunk=8_000, recv=8_192, port=4321):
     """Stream *payload* client→server; returns bytes + both connections."""
+    if options is None:
+        options = ExsSocketOptions(transport=TRANSPORT_WWI)
     out = {}
 
     def server():
@@ -124,7 +132,7 @@ def test_sender_buffer_reuse_under_duplication_never_corrupts():
     dereferencing the payload, or the assembled stream would contain bytes
     from the wrong message.  The refill itself proves every pin on the
     buffer was released by completion time (a live pin would raise)."""
-    tb, _ = make_testbed(7, faults=FaultProfile(drop_prob=0.02, duplicate_prob=0.10))
+    tb, wwi_options = make_testbed(7, faults=FaultProfile(drop_prob=0.02, duplicate_prob=0.10))
     msg_bytes = 8_192
     n_msgs = 6 if SMOKE else 12
     rng = random.Random(40427)
@@ -132,7 +140,7 @@ def test_sender_buffer_reuse_under_duplication_never_corrupts():
     out = {}
 
     def server():
-        conn = yield from BlockingSocket.accept_one(tb.server, 4321)
+        conn = yield from BlockingSocket.accept_one(tb.server, 4321, options=wwi_options)
         chunks = []
         while True:
             data = yield from conn.recv_bytes(msg_bytes)
@@ -143,7 +151,7 @@ def test_sender_buffer_reuse_under_duplication_never_corrupts():
         out["rx_conn"] = conn.sock.conn
 
     def client():
-        conn = yield from BlockingSocket.connect(tb.client, 4321)
+        conn = yield from BlockingSocket.connect(tb.client, 4321, options=wwi_options)
         buf = conn.stack.alloc(msg_bytes, label="zc:reuse")
         mr = yield from conn.stack.mregister(buf)
         for piece in pieces:

@@ -98,3 +98,41 @@ def test_overlapping_transfer_breaks_contiguity(clean_events):
     doctored = _mutate(clean_events, first.kind, seq=first.get("seq") + 1)
     report = audit_events(doctored)
     assert any(v.claim == "stream contiguity" for v in report.violations)
+
+
+def _append(events, template, **fields):
+    """Copy of *events* plus one synthetic event after everything else."""
+    t = max(e.time_ns for e in events) + 1_000
+    extra = TraceEvent(t, template.conn, template.host, template.kind,
+                       tuple(sorted(fields.items())))
+    return list(events) + [extra]
+
+
+def test_second_fin_breaks_fin_uniqueness(clean_events):
+    fin = next(e for e in clean_events if e.kind == "fin")
+    doctored = _append(clean_events, fin, seq=fin.get("seq"))
+    report = audit_events(doctored)
+    assert any(v.claim == "FIN uniqueness" for v in report.violations)
+
+
+def test_delivery_after_eof_breaks_finality(clean_events):
+    eof = next(e for e in clean_events if e.kind == "deliver" and e.get("eof"))
+    doctored = _append(clean_events, eof, nbytes=10)
+    report = audit_events(doctored)
+    assert any(v.claim == "EOF finality" for v in report.violations)
+
+
+@pytest.mark.parametrize("msg_bytes", (4_096, 48 * 1024))
+def test_eager_rendezvous_run_audits_ok(msg_bytes):
+    """Both classes of the SEND-RECV plane (eager below the threshold,
+    rendezvous above) produce records that satisfy contiguity, FIN
+    uniqueness, EOF finality, and conservation."""
+    scenario = ScenarioConfig(seed=5, transport="eager_rendezvous")
+    tb = scenario.build_testbed()
+    tracer = ProtocolTracer.attach(tb)
+    cfg = BlastConfig(total_messages=8, sizes=FixedSizes(msg_bytes),
+                      outstanding_sends=3, outstanding_recvs=3)
+    run_blast(cfg, testbed=tb, scenario=scenario)
+    report = audit_events(tracer.events)
+    assert report.ok, report.describe()
+    assert not audit_spans(tracer.events)

@@ -47,3 +47,45 @@ def test_failing_outcome_becomes_replayable_counterexample():
 def test_fuzz_case_round_trips():
     case = FuzzCase(messages=7, waitall=True, mode="indirect")
     assert FuzzCase.from_dict(case.to_dict()) == case
+
+
+def test_each_transport_variant_is_bit_deterministic():
+    """The fuzz fingerprint covers copy/transfer accounting, so this pins
+    bit-determinism of every data plane, not just byte totals."""
+    for transport in (None, "wwi", "eager_rendezvous"):
+        case = FuzzCase(messages=10, transport=transport)
+        scenario = ScenarioConfig(schedule=("random", 13))
+        a = run_case(case, scenario)
+        b = run_case(case, scenario)
+        assert a.ok and b.ok, f"transport={transport}"
+        assert a.fingerprint == b.fingerprint, f"transport={transport}"
+
+
+def test_selective_repeat_base_is_bit_deterministic():
+    from repro.verbs import ReliabilityConfig
+
+    rel = ReliabilityConfig(mode="selective_repeat")
+    scenario = ScenarioConfig(schedule=("random", 17), reliability=rel)
+    a = run_case(CASE, scenario)
+    b = run_case(CASE, scenario)
+    assert a.ok and b.ok
+    assert a.fingerprint == b.fingerprint
+
+
+def test_transport_variants_fingerprint_differently():
+    """Sanity: the fingerprint actually distinguishes the planes (same
+    schedule, same messages — different copy accounting)."""
+    scenario = ScenarioConfig(schedule=("random", 13))
+    wwi = run_case(FuzzCase(messages=10, transport="wwi"), scenario)
+    rdv = run_case(FuzzCase(messages=10, transport="eager_rendezvous"), scenario)
+    assert wwi.ok and rdv.ok
+    assert wwi.fingerprint != rdv.fingerprint
+
+
+def test_transport_survives_counterexample_round_trip():
+    base = ScenarioConfig(max_events=10)
+    report = run_fuzz([5], FuzzCase(messages=12, transport="eager_rendezvous"), base)
+    assert not report.ok
+    ce = report.failures[0]
+    assert ce.fuzz_case["transport"] == "eager_rendezvous"
+    assert FuzzCase.from_dict(ce.fuzz_case).transport == "eager_rendezvous"

@@ -140,3 +140,33 @@ def test_engine_failure_surfaces_loudly():
     tb.sim.process(client())
     with pytest.raises(Exception):
         tb.run(max_events=20_000_000)
+
+
+def test_fin_is_idempotent_but_conflicts_are_fatal():
+    """A FIN replayed by the reliability layer (or the dup fault) after the
+    stream finished is a no-op; a FIN with a *different* final sequence is a
+    protocol bug and must trip the safety layer."""
+    from repro.core import SafetyViolation
+
+    tb = Testbed(seed=31)
+    out = {}
+
+    def server():
+        conn = yield from BlockingSocket.accept_one(tb.server, 5140)
+        while (yield from conn.recv_bytes(4096)) != b"":
+            pass
+        out["rx"] = conn.sock.conn.rx
+
+    def client():
+        conn = yield from BlockingSocket.connect(tb.client, 5140)
+        yield from conn.send_bytes(b"q" * 10_000)
+        yield from conn.close()
+
+    run_procs(tb.sim, server(), client(), max_events=50_000_000)
+    rx = out["rx"]
+    fin_seq = rx.eof_seq
+    assert fin_seq == 10_000
+    rx.on_fin(fin_seq)  # replayed FIN: silently ignored
+    assert rx.eof_seq == fin_seq
+    with pytest.raises(SafetyViolation):
+        rx.on_fin(fin_seq + 1)  # conflicting FIN: impossible state

@@ -29,6 +29,25 @@ def test_consume_and_grant_cycle():
     assert cm.available == 3
 
 
+
+def test_peer_grant_noop_on_regressing_or_equal_cumulative():
+    """`on_peer_grant` is a pure cumulative-max: a replayed or reordered
+    grant at or below the recorded high-water mark changes nothing (the
+    grant counter piggybacks on every control message, so duplicates under
+    chaos are routine, not errors)."""
+    cm = CreditManager(initial_remote=8, control_reserve=2)
+    assert cm.on_peer_grant(3)
+    avail = cm.available
+    assert not cm.on_peer_grant(3)  # exact duplicate
+    assert not cm.on_peer_grant(2)  # regression (reordered older grant)
+    assert not cm.on_peer_grant(0)
+    assert cm.peer_repost_cum == 3
+    assert cm.available == avail
+    assert cm.on_peer_grant(5)      # progress resumes normally
+    assert cm.peer_repost_cum == 5
+    assert cm.available == avail + 2
+
+
 def test_over_consume_rejected():
     cm = CreditManager(initial_remote=3, control_reserve=1)
     with pytest.raises(CreditError):

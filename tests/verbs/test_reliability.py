@@ -179,3 +179,171 @@ def test_flush_without_error_state_rejected(sim):
     pair = RelPair(sim)
     with pytest.raises(QPStateError):
         pair.qa.flush(WCStatus.WR_FLUSH_ERR)
+
+
+# ---------------------------------------------------------------------------
+# selective repeat (SACK bitmap, OOO buffering, per-frame deadlines)
+# ---------------------------------------------------------------------------
+
+SR_CONFIG = ReliabilityConfig(
+    retry_timeout_ns=50_000,
+    retry_cnt=6,
+    rnr_retry=5,
+    rnr_timeout_ns=30_000,
+    mode="selective_repeat",
+)
+
+
+def _blast(pair, n, nbytes=64):
+    for i in range(n):
+        pair.post_recv(wr_id=100 + i)
+    for i in range(n):
+        pair.post_send(nbytes, wr_id=1 + i)
+
+
+def test_selective_repeat_buffers_out_of_order_and_releases(sim):
+    """Frames behind a loss are buffered (not NAK-discarded) and released
+    in order once the hole is filled; the requester learns of them via the
+    SACK bitmap and completes everything in posting order."""
+    imp = ImpairmentModel(FaultProfile(drop_prob=0.25), seed=11)
+    pair = RelPair(sim, impairment=imp, config=SR_CONFIG)
+    n = 20
+    _blast(pair, n)
+    sim.run()
+
+    wcs_a = pair.cq_a.poll()
+    assert [w.status for w in wcs_a] == [WCStatus.SUCCESS] * n
+    assert [w.wr_id for w in wcs_a] == list(range(1, n + 1))  # in order
+    assert len(pair.cq_b.poll()) == n
+    assert imp.dropped_total > 0
+    stats_b = pair.db.reliability.stats
+    assert stats_b.ooo_buffered > 0
+    assert stats_b.ooo_released > 0
+    assert pair.da.reliability.stats.sacked_frames > 0
+
+
+def _retransmits_for_mode(mode, seed=11):
+    from repro.simnet import Simulator
+
+    sim = Simulator()
+    cfg = ReliabilityConfig(retry_timeout_ns=50_000, retry_cnt=6,
+                            rnr_retry=5, rnr_timeout_ns=30_000, mode=mode)
+    imp = ImpairmentModel(FaultProfile(drop_prob=0.25), seed=seed)
+    pair = RelPair(sim, impairment=imp, config=cfg)
+    n = 20
+    _blast(pair, n)
+    sim.run()
+    assert [w.status for w in pair.cq_a.poll()] == [WCStatus.SUCCESS] * n
+    assert len(pair.cq_b.poll()) == n
+    assert imp.dropped_total > 0
+    return pair.da.reliability.stats.retransmits
+
+
+def test_selective_repeat_resends_no_more_than_gobackn():
+    """Same drop pattern: selective repeat never resends more frames than
+    go-back-N (it skips SACKed frames instead of replaying the window)."""
+    assert _retransmits_for_mode("selective_repeat") <= _retransmits_for_mode("gobackn")
+
+
+def test_selective_repeat_mode_rejects_unknown():
+    with pytest.raises(ValueError):
+        ReliabilityConfig(mode="stop-and-wait")
+
+
+# ---------------------------------------------------------------------------
+# RTO backoff clamping (regression: overflow after long outages)
+# ---------------------------------------------------------------------------
+
+def test_rto_backoff_clamped_at_max_rto(sim):
+    """A huge attempt count must hit the cap, not overflow ``backoff**n``."""
+    cfg = ReliabilityConfig(retry_timeout_ns=1_000, backoff=2.0,
+                            max_rto_ns=500_000)
+    pair = RelPair(sim, config=cfg)
+    eng = pair.da.reliability
+    st = eng._st(pair.qa)
+    st.attempts = 10_000  # 2**10_000 would overflow float64
+    assert eng._current_rto(st) == 500_000
+    st.attempts = 3
+    assert eng._current_rto(st) == 8_000  # below the cap: plain backoff
+
+
+def test_rto_cap_defaults_to_max_timeout(sim):
+    cfg = ReliabilityConfig(retry_timeout_ns=1_000, backoff=2.0,
+                            max_timeout_ns=64_000)
+    pair = RelPair(sim, config=cfg)
+    eng = pair.da.reliability
+    st = eng._st(pair.qa)
+    st.attempts = 10_000
+    assert eng._current_rto(st) == 64_000
+
+
+def test_rto_cap_must_be_positive():
+    with pytest.raises(ValueError):
+        ReliabilityConfig(max_rto_ns=0)
+
+
+# ---------------------------------------------------------------------------
+# stale cumulative ACK/NAK handling (regression: timer resets on dup ACKs)
+# ---------------------------------------------------------------------------
+
+def test_stale_cumulative_ack_is_ignored(sim):
+    """A replayed ACK at or below the acked point completes nothing and
+    must not reset the attempt counters (which would starve the timer)."""
+    pair = RelPair(sim)
+    pair.post_recv()
+    pair.post_send(8)
+    sim.run()
+    eng = pair.da.reliability
+    st = eng._st(pair.qa)
+    acked = st.highest_acked
+    assert acked >= 0
+    st.attempts = 2  # pretend we are mid-recovery
+    assert eng.on_ack(pair.qa, acked) == []
+    assert eng.on_ack(pair.qa, acked - 1) == []
+    assert eng.stats.stale_acks_ignored == 2
+    assert st.attempts == 2  # stale frames carry no progress
+
+
+def test_stale_nak_does_not_trigger_retransmit(sim):
+    pair = RelPair(sim)
+    pair.post_recv()
+    pair.post_send(8)
+    sim.run()
+    eng = pair.da.reliability
+    st = eng._st(pair.qa)
+    before = eng.stats.retransmits
+    assert eng.on_nak(pair.qa, st.highest_acked - 1) == []
+    assert eng.stats.retransmits == before
+    assert eng.stats.stale_acks_ignored == 1
+
+
+def test_stale_rnr_does_not_consume_retry_budget(sim):
+    pair = RelPair(sim)
+    pair.post_recv()
+    pair.post_send(8)
+    sim.run()
+    eng = pair.da.reliability
+    st = eng._st(pair.qa)
+    assert eng.on_rnr(pair.qa, st.highest_acked - 1) == []
+    assert st.rnr_attempts == 0
+    assert eng.stats.stale_acks_ignored == 1
+
+
+@pytest.mark.parametrize("mode", ["gobackn", "selective_repeat"])
+def test_duplicate_ack_chaos_completes_and_ignores_stale_frames(sim, mode):
+    """duplicate_prob=1 re-delivers every data frame; each duplicate is
+    re-ACKed with an old msn, and the requester must shrug those off while
+    still completing every send exactly once."""
+    cfg = ReliabilityConfig(retry_timeout_ns=50_000, retry_cnt=6,
+                            rnr_retry=5, rnr_timeout_ns=30_000, mode=mode)
+    imp = ImpairmentModel(FaultProfile(duplicate_prob=1.0), seed=5)
+    pair = RelPair(sim, impairment=imp, config=cfg)
+    n = 8
+    _blast(pair, n, nbytes=32)
+    sim.run()
+
+    assert [w.status for w in pair.cq_a.poll()] == [WCStatus.SUCCESS] * n
+    assert len(pair.cq_b.poll()) == n
+    assert imp.duplicated_total > 0
+    assert pair.db.reliability.stats.duplicates_dropped > 0
+    assert pair.da.reliability.stats.stale_acks_ignored > 0
