@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction repository.
 
-.PHONY: install test bench bench-smoke bench-compare bench-paper figures examples obs-smoke trace-smoke chaos-smoke check-smoke all
+.PHONY: install test bench bench-smoke bench-compare bench-paper figures examples obs-smoke trace-smoke chaos-smoke check-smoke fabric-smoke all
 
 install:
 	pip install -e . || python setup.py develop
@@ -36,6 +36,17 @@ bench-paper:
 # Telemetry gate: run a traced scenario through the full obs pipeline,
 # fail on export-schema drift or incomplete span coverage, and leave the
 # JSONL artifact behind for inspection / CI upload.
+# Multi-host fabric gate: a 16-sender incast through one switched sink
+# port, audited for stream-integrity violations, on both the shared
+# (SRQ + CQ-shard) and per-connection resource paths.
+fabric-smoke:
+	python -m repro.apps.incast --senders 16 --bytes 65536 \
+		--message-bytes 16384 --audit
+	python -m repro.apps.incast --senders 16 --bytes 65536 \
+		--message-bytes 16384 --srq-depth 512 --cq-shards 4 --audit
+	python -m repro.apps.incast --senders 16 --bytes 65536 \
+		--message-bytes 16384 --policy drop --port-queue-bytes 16384 --audit
+
 obs-smoke:
 	python -m repro.obs smoke --out telemetry-smoke.jsonl
 

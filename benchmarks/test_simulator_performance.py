@@ -193,6 +193,79 @@ def test_real_bytes_indirect_blast_rate(benchmark):
     assert result.rx_stats.copied_bytes == result.total_bytes
 
 
+def _scale_incast(connections_per_sender: int, srq_depth, cq_shards,
+                  bytes_per_sender: int = 32 * 1024):
+    """16-sender switched fan-in at scale, synthetic payloads.
+
+    Synthetic mode (like the calendar benchmarks, unlike the real-bytes
+    blasts) so the timing measures the harness — engine scheduling, CQ
+    polling, switch queueing — not host page-fault cost for hundreds of
+    16 MiB rings.
+    """
+    from repro.apps.incast import IncastConfig, run_incast
+    from repro.config import ScenarioConfig
+    from repro.exs import ExsSocketOptions
+
+    cfg = IncastConfig(
+        senders=16,
+        connections_per_sender=connections_per_sender,
+        bytes_per_sender=bytes_per_sender,
+        message_bytes=16 * 1024,
+        options=ExsSocketOptions(real_data=False),
+    )
+    return run_incast(cfg, ScenarioConfig(
+        seed=1, srq_depth=srq_depth, cq_shards=cq_shards))
+
+
+def test_incast_256_connection_scale(benchmark):
+    """256-connection incast on the shared-resource path (SRQ + CQ shards).
+
+    The connection-scale figure of merit for the fabric: posted receive
+    buffers are bounded by the pool depth (2048) instead of growing with
+    the connection count, and each device polls 8 completion vectors
+    instead of 256 per-connection channels.
+    """
+    result = benchmark.pedantic(
+        lambda: _scale_incast(16, srq_depth=2048, cq_shards=8),
+        rounds=3, iterations=1, warmup_rounds=1)
+    assert result.connections == 256
+    assert result.switch_drops == 0
+    assert result.srq_min_free is not None and result.srq_min_free >= 0
+    benchmark.extra_info["end_ns"] = result.end_ns
+    benchmark.extra_info["srq_min_free"] = result.srq_min_free
+    benchmark.extra_info["sink_port_peak_queue_bytes"] = (
+        result.sink_port_peak_queue_bytes)
+
+
+def test_incast_256_connection_per_conn_resources(benchmark):
+    """The same 256-connection incast on per-connection resources.
+
+    The contrast row for the committed baseline: 256 per-connection
+    engines/channels/receive queues against the pooled run above — the
+    shared path must never be slower than this one.
+    """
+    result = benchmark.pedantic(
+        lambda: _scale_incast(16, srq_depth=None, cq_shards=0),
+        rounds=3, iterations=1, warmup_rounds=1)
+    assert result.connections == 256
+    assert result.switch_drops == 0
+    benchmark.extra_info["end_ns"] = result.end_ns
+
+
+def test_incast_1k_connection_scale(benchmark):
+    """1024-connection incast: the thousand-endpoint claim of the SRQ
+    literature, runnable only on the shared-resource path in reasonable
+    time and memory."""
+    result = benchmark.pedantic(
+        lambda: _scale_incast(64, srq_depth=8192, cq_shards=16,
+                              bytes_per_sender=16 * 1024),
+        rounds=2, iterations=1, warmup_rounds=0)
+    assert result.connections == 1024
+    assert result.switch_drops == 0
+    benchmark.extra_info["end_ns"] = result.end_ns
+    benchmark.extra_info["srq_min_free"] = result.srq_min_free
+
+
 def test_transport_crossover_grid(benchmark):
     """Transport bake-off sweep: loss × RTT × message size, every variant.
 

@@ -51,6 +51,8 @@ from .exs import (
     MsgFlags,
     SocketType,
 )
+from .fabric import Fabric, FabricConnection
+from .simnet import SwitchConfig, Topology
 from .testbed import Testbed
 from .trace import ProtocolTracer, render_timeline
 
@@ -65,6 +67,8 @@ __all__ = [
     "ExsSocketOptions",
     "ExsStack",
     "FDR_INFINIBAND",
+    "Fabric",
+    "FabricConnection",
     "FixedSizes",
     "HardwareProfile",
     "MsgFlags",
@@ -78,7 +82,9 @@ __all__ = [
     "SafetyViolation",
     "ScenarioConfig",
     "SocketType",
+    "SwitchConfig",
     "Testbed",
+    "Topology",
     "render_timeline",
     "__version__",
     "run_blast",

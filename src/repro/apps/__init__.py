@@ -2,6 +2,7 @@
 
 from .blast import BlastConfig, BlastResult, run_blast
 from .echo import EchoConfig, EchoResult, run_echo
+from .incast import IncastConfig, IncastResult, incast_topology, run_incast
 from .filetransfer import (
     FileTransferConfig,
     FileTransferResult,
@@ -31,16 +32,20 @@ __all__ = [
     "StreamResult",
     "ExponentialSizes",
     "FixedSizes",
+    "IncastConfig",
+    "IncastResult",
     "KIB",
     "MIB",
     "MeanCI",
     "PhasedSizes",
     "SizeGenerator",
     "UniformSizes",
+    "incast_topology",
     "mean_ci",
     "percentile",
     "run_blast",
     "run_echo",
+    "run_incast",
     "run_file_transfer",
     "throughput_bps",
 ]

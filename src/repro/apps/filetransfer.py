@@ -196,7 +196,7 @@ def run_file_transfer(
     out: dict = {}
 
     # one destination "file" shared by all streams, registered once
-    file_buf = tb.server_host.alloc(config.file_bytes, real=config.real_data, label="ft:file")
+    file_buf = tb.host("server").alloc(config.file_bytes, real=config.real_data, label="ft:file")
     out["file_mr"] = tb.server_device.register(file_buf)
 
     procs = []

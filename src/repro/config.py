@@ -7,10 +7,13 @@ and the ``REPRO_TELEMETRY_DIR`` environment variable.
 :class:`ScenarioConfig` gathers them into one frozen, picklable,
 JSON-round-trippable object:
 
-* **topology** — which :class:`~repro.bench.profiles.HardwareProfile`
+* **profile** — which :class:`~repro.bench.profiles.HardwareProfile`
   (by name, so scenarios serialize)
+* **topology** — optional :class:`~repro.simnet.fabric.Topology` for
+  multi-host fabrics (``None`` = the classic two-host wire)
 * **seed** — the testbed seed (wake-up latencies, fault streams, ...)
-* **faults** — optional :class:`~repro.simnet.faults.FaultProfile`
+* **faults** — optional :class:`~repro.simnet.faults.FaultProfile`, or a
+  per-edge ``{edge_name: FaultProfile}`` mapping on a topology
 * **reliability** — optional :class:`~repro.verbs.reliability.ReliabilityConfig`
 * **schedule** — optional same-instant tie-break policy spec
   (``("fifo", 0)`` or ``("random", seed)``; see :mod:`repro.simnet.schedule`)
@@ -32,9 +35,10 @@ from __future__ import annotations
 import dataclasses
 import warnings
 from dataclasses import dataclass
-from typing import Optional, Tuple, Union
+from typing import Dict, Optional, Tuple, Union
 
 from .bench.profiles import PROFILES, HardwareProfile
+from .simnet.fabric import Topology
 from .simnet.faults import FaultProfile
 from .simnet.schedule import SchedulePolicy, policy_from_spec
 from .verbs.reliability import ReliabilityConfig
@@ -63,7 +67,14 @@ class ScenarioConfig:
 
     profile: Union[str, HardwareProfile] = "fdr"
     seed: int = 0
-    faults: Optional[FaultProfile] = None
+    #: multi-host fabric layout; ``None`` means the classic two-host wire
+    #: (equivalent to :meth:`Topology.point_to_point`)
+    topology: Optional[Topology] = None
+    #: wire impairment: one :class:`FaultProfile` applied to every edge, or
+    #: a ``{edge_name: FaultProfile}`` mapping addressing individual edges
+    #: of the topology (e.g. ``{"client0-spine0": LIGHT_LOSS}``); unknown
+    #: edge names raise eagerly
+    faults: Optional[Union[FaultProfile, Dict[str, FaultProfile]]] = None
     reliability: Optional[ReliabilityConfig] = None
     #: EXS data-plane transport forced on the run's sockets: ``"wwi"``,
     #: ``"eager_rendezvous"``, or ``None`` (socket options / environment
@@ -86,6 +97,16 @@ class ScenarioConfig:
     flight_recorder: int = 0
     #: hard cap on simulation events (``None`` = caller's default)
     max_events: Optional[int] = None
+    #: >0 makes every host's receive-pool connections share one SRQ-backed
+    #: buffer pool of that many slots (RNR-NAK on exhaustion) instead of
+    #: posting ``credits`` buffers per connection; ``None`` keeps the
+    #: historical per-QP receive queues
+    srq_depth: Optional[int] = None
+    #: >0 shards completion handling: connections share ``cq_shards``
+    #: completion queues per host and one poller process drains each shard,
+    #: so devices poll O(shards), not O(connections); 0 keeps the
+    #: historical per-connection engine loop (bit-identical)
+    cq_shards: int = 0
 
     def __post_init__(self) -> None:
         if isinstance(self.profile, str) and self.profile not in PROFILES:
@@ -94,6 +115,17 @@ class ScenarioConfig:
             )
         if self.transport not in (None, "wwi", "eager_rendezvous"):
             raise ValueError(f"unknown transport {self.transport!r}")
+        if isinstance(self.faults, dict):
+            if self.topology is None:
+                raise ValueError(
+                    "per-edge faults ({edge_name: FaultProfile}) require a topology"
+                )
+            for name in self.faults:
+                self.topology.resolve_edge(name)  # raises on unknown edges
+        if self.srq_depth is not None and self.srq_depth <= 0:
+            raise ValueError("srq_depth must be positive (or None)")
+        if self.cq_shards < 0:
+            raise ValueError("cq_shards must be >= 0")
         if self.schedule is not None:
             # normalize to a plain (kind, seed) tuple and validate eagerly
             if isinstance(self.schedule, SchedulePolicy):
@@ -125,6 +157,14 @@ class ScenarioConfig:
 
         return Testbed.from_scenario(self, jitter=jitter, trace=trace)
 
+    def build_fabric(self, *, jitter=None, trace=None):
+        """Assemble the N-host :class:`~repro.fabric.Fabric` this scenario
+        describes (its :attr:`topology`, or the two-host wire when unset).
+        """
+        from .fabric import Fabric
+
+        return Fabric.from_scenario(self, jitter=jitter, trace=trace)
+
     # ------------------------------------------------------------------
     # serialization
     # ------------------------------------------------------------------
@@ -138,10 +178,17 @@ class ScenarioConfig:
                     "serializable scenarios must name a registered profile"
                 )
             profile = profile.name
+        if isinstance(self.faults, dict):
+            faults = {"per_edge": {
+                name: dataclasses.asdict(fp) for name, fp in self.faults.items()
+            }}
+        else:
+            faults = dataclasses.asdict(self.faults) if self.faults else None
         return {
             "profile": profile,
             "seed": self.seed,
-            "faults": dataclasses.asdict(self.faults) if self.faults else None,
+            "topology": self.topology.to_dict() if self.topology else None,
+            "faults": faults,
             "reliability": dataclasses.asdict(self.reliability) if self.reliability else None,
             "transport": self.transport,
             "schedule": list(self.schedule) if self.schedule else None,
@@ -150,17 +197,27 @@ class ScenarioConfig:
             "causal_capture": self.causal_capture,
             "flight_recorder": self.flight_recorder,
             "max_events": self.max_events,
+            "srq_depth": self.srq_depth,
+            "cq_shards": self.cq_shards,
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "ScenarioConfig":
         faults = data.get("faults")
+        if faults and "per_edge" in faults:
+            faults = {name: FaultProfile(**fp) for name, fp in faults["per_edge"].items()}
+        elif faults:
+            faults = FaultProfile(**faults)
+        else:
+            faults = None
+        topology = data.get("topology")
         reliability = data.get("reliability")
         schedule = data.get("schedule")
         return cls(
             profile=data.get("profile", "fdr"),
             seed=int(data.get("seed", 0)),
-            faults=FaultProfile(**faults) if faults else None,
+            topology=Topology.from_dict(topology) if topology else None,
+            faults=faults,
             reliability=ReliabilityConfig(**reliability) if reliability else None,
             transport=data.get("transport"),
             schedule=tuple(schedule) if schedule else None,
@@ -169,4 +226,6 @@ class ScenarioConfig:
             causal_capture=bool(data.get("causal_capture", False)),
             flight_recorder=int(data.get("flight_recorder", 0)),
             max_events=data.get("max_events"),
+            srq_depth=data.get("srq_depth"),
+            cq_shards=int(data.get("cq_shards", 0)),
         )

@@ -33,6 +33,7 @@ from .flags import (
     SocketType,
 )
 from .rendezvous import RdvReceiverHalf, RdvSenderHalf
+from .shard import CqShard, SrqPool
 from .socket import ExsError, ExsSocket, ExsStack
 from .stream_receiver import StreamReceiverHalf, UserRecv
 from .stream_sender import StreamSenderHalf, UserSend
@@ -40,6 +41,7 @@ from .stream_sender import StreamSenderHalf, UserSend
 __all__ = [
     "AdvertMsg",
     "BlockingSocket",
+    "CqShard",
     "CreditError",
     "CreditManager",
     "CreditMsg",
@@ -57,6 +59,7 @@ __all__ = [
     "RdvSenderHalf",
     "RingAckMsg",
     "SocketType",
+    "SrqPool",
     "TRANSPORT_EAGER_RENDEZVOUS",
     "TRANSPORT_WWI",
     "StreamReceiverHalf",

@@ -54,9 +54,14 @@ def exs_accept(sock: ExsSocket, eq: ExsEventQueue, context: Any = None,
     sock.accept(eq, context, options)
 
 
-def exs_connect(sock: ExsSocket, port: int, eq: ExsEventQueue, context: Any = None) -> None:
-    """Asynchronously connect (``exs_connect()``); CONNECT event on *eq*."""
-    sock.connect(port, eq, context)
+def exs_connect(sock: ExsSocket, port: int, eq: ExsEventQueue, context: Any = None,
+                *, to: Optional[str] = None) -> None:
+    """Asynchronously connect (``exs_connect()``); CONNECT event on *eq*.
+
+    *to* names the destination host on a multi-host fabric (ignored on the
+    point-to-point wire).
+    """
+    sock.connect(port, eq, context, to=to)
 
 
 def exs_send(sock: ExsSocket, buffer: Buffer, mr: MemoryRegion, nbytes: int,
@@ -143,10 +148,11 @@ class BlockingSocket:
     @classmethod
     def connect(cls, stack: ExsStack, port: int,
                 socket_type: SocketType = SocketType.SOCK_STREAM,
-                options: Optional[ExsSocketOptions] = None):
+                options: Optional[ExsSocketOptions] = None,
+                to: Optional[str] = None):
         sock = stack.socket(socket_type, options)
         eq = stack.qcreate()
-        sock.connect(port, eq)
+        sock.connect(port, eq, to=to)
         ev: ExsEvent = yield eq.dequeue()
         ev.expect(ExsEventType.CONNECT)
         return cls(sock, eq)

@@ -84,6 +84,8 @@ class ExsConnection:
         *,
         channel_seed: int,
         socket_type: SocketType = SocketType.SOCK_STREAM,
+        srq=None,
+        shard=None,
     ) -> None:
         self.sim = sim
         self.host = host
@@ -93,20 +95,43 @@ class ExsConnection:
         self.conn_id = next(ExsConnection._ids)
         self.costs = host.cpu.costs
 
-        if options.busy_poll:
-            # Busy polling: the progress thread spins on the CQ; a constant
-            # tiny delay stands in for the poll-loop iteration time, and the
-            # spin time itself is accounted as CPU burn in the engine loop.
-            from ..verbs.comp_channel import fixed_wakeup
-
-            wakeup = fixed_wakeup(100)
-        else:
-            wakeup = getattr(host, "wakeup_sampler", None)
-        self.channel: CompletionChannel = device.create_channel(
-            wakeup=wakeup, seed=channel_seed
+        self.socket_type = socket_type
+        self.transport = (
+            options.effective_transport()
+            if socket_type is SocketType.SOCK_STREAM else "wwi"
         )
-        self.cq: CompletionQueue = device.create_cq(self.channel)
-        self.qp: QueuePair = device.create_qp(self.cq, self.cq)
+        # Shared receive pool (ExsStack(srq_depth=...)): control-plane
+        # transports draw receives from the stack-wide SRQ instead of
+        # posting per-QP buffers.  Eager transport keeps per-QP receives —
+        # its payloads land in per-connection bounce slots.
+        if srq is not None and self.transport != TRANSPORT_EAGER_RENDEZVOUS:
+            self.srq_pool = srq
+            srq.attached += 1
+        else:
+            self.srq_pool = None
+        #: the CQ shard servicing this connection (ExsStack(cq_shards=...));
+        #: None = the connection runs its own engine process
+        self._shard = shard
+        if shard is not None:
+            self.channel: CompletionChannel = shard.channel
+            self.cq: CompletionQueue = shard.cq
+        else:
+            if options.busy_poll:
+                # Busy polling: the progress thread spins on the CQ; a
+                # constant tiny delay stands in for the poll-loop iteration
+                # time, and the spin time itself is accounted as CPU burn in
+                # the engine loop.
+                from ..verbs.comp_channel import fixed_wakeup
+
+                wakeup = fixed_wakeup(100)
+            else:
+                wakeup = getattr(host, "wakeup_sampler", None)
+            self.channel = device.create_channel(wakeup=wakeup, seed=channel_seed)
+            self.cq = device.create_cq(self.channel)
+        self.qp: QueuePair = device.create_qp(
+            self.cq, self.cq,
+            srq=self.srq_pool.srq if self.srq_pool is not None else None,
+        )
 
         self.credits: Optional[CreditManager] = None  # set once hello exchanged
 
@@ -118,11 +143,6 @@ class ExsConnection:
         #: meter, so "copied exactly once" is directly assertable.
         self.copy_meter = CopyMeter()
 
-        self.socket_type = socket_type
-        self.transport = (
-            options.effective_transport()
-            if socket_type is SocketType.SOCK_STREAM else "wwi"
-        )
         if self.transport == TRANSPORT_EAGER_RENDEZVOUS:
             # Eager payloads are DMA-placed into per-RECV bounce slots, so
             # every slot must fit the largest eager message; the slot copy
@@ -178,7 +198,9 @@ class ExsConnection:
         self._wr_ids = itertools.count(1)
         #: the peer endpoint's conn_id, learnt from its hello (0 = unknown)
         self.peer_conn_id = 0
-        self._kick = Signal(sim)
+        # on a sharded stack, kicks wake the shard poller instead of a
+        # per-connection engine
+        self._kick = shard.kick if shard is not None else Signal(sim)
         self._engine = None
         self.established = False
         self.closing = False
@@ -209,7 +231,16 @@ class ExsConnection:
         }
 
     def post_initial_recvs(self) -> None:
-        """Pre-post the receive pool (paper §II-B: *n* RECVs at startup)."""
+        """Pre-post the receive pool (paper §II-B: *n* RECVs at startup).
+
+        On an SRQ-pooled stack the shared pool was pre-filled once at stack
+        construction, so there is nothing to post per connection — the
+        credits advertised to the peer still gate its sends, but pool
+        exhaustion across connections is now possible and resolves through
+        RNR NAK + retry.
+        """
+        if self.srq_pool is not None:
+            return
         for _ in range(self.options.credits):
             self._post_recv_wr()
 
@@ -277,6 +308,10 @@ class ExsConnection:
         if telemetry is not None:
             telemetry.register_connection(self)
         self.established = True
+        if self._shard is not None:
+            # sharded stack: the shard's poller services this connection
+            self._shard.register(self)
+            return
         self._engine = self.sim.process(self._engine_loop(), name=f"exs{self.conn_id}-engine")
         # An engine death is an implementation bug; surface it immediately
         # instead of letting the simulation quietly deadlock.
@@ -461,23 +496,7 @@ class ExsConnection:
                         progressed = True
                     if self.broken:
                         break
-                    # one copy at a time so completions interleave realistically
-                    plan = self.rx.next_copy()
-                    if plan is not None:
-                        yield from self.rx.execute_copy(plan)
-                        progressed = True
-                    # re-advertise queued receives once the gate opens
-                    for advert_msg in self.rx.flush_adverts():
-                        self.queue_control(advert_msg)
-                        progressed = True
-                    sent = yield from self.tx.pump()
-                    progressed = bool(sent) or progressed
-                    progressed = self._pump_close() or progressed
-                    ctrl = yield from self._pump_control()
-                    progressed = ctrl or progressed
-                    progressed = self.rx.pump_eof() or progressed
-                    if self.tracer is not None:
-                        self._note_progress()
+                    progressed = (yield from self._progress_round()) or progressed
             except (CreditError, QPStateError) as exc:
                 # The QP died under us (timer-driven teardown between engine
                 # steps) or credit accounting collapsed with it: survivable.
@@ -493,6 +512,35 @@ class ExsConnection:
             if self.options.busy_poll:
                 # the poll loop burned the library core the whole time
                 self.host.cpu.record_busy(idle_start, self.sim.now)
+
+    def _progress_round(self):
+        """Everything one engine pass does after draining the CQ: copies,
+        advert flushing, the tx pump, close/control pumping, and EOF
+        delivery.  Returns True if anything moved.
+
+        Factored out of :meth:`_engine_loop` (which preserves its exact
+        operation order) so a :class:`~repro.exs.shard.CqShard` poller can
+        run progress rounds for many connections around one shared CQ.
+        """
+        progressed = False
+        # one copy at a time so completions interleave realistically
+        plan = self.rx.next_copy()
+        if plan is not None:
+            yield from self.rx.execute_copy(plan)
+            progressed = True
+        # re-advertise queued receives once the gate opens
+        for advert_msg in self.rx.flush_adverts():
+            self.queue_control(advert_msg)
+            progressed = True
+        sent = yield from self.tx.pump()
+        progressed = bool(sent) or progressed
+        progressed = self._pump_close() or progressed
+        ctrl = yield from self._pump_control()
+        progressed = ctrl or progressed
+        progressed = self.rx.pump_eof() or progressed
+        if self.tracer is not None:
+            self._note_progress()
+        return progressed
 
     # -- completion dispatch ---------------------------------------------
     def _handle_wc(self, wc: WorkCompletion):
@@ -598,7 +646,10 @@ class ExsConnection:
         """Repost the consumed RECV and account the credit to grant back."""
         if wc is not None and self._slot_bytes is not None and wc.context is not None:
             self._free_slots.append(wc.context)
-        self._post_recv_wr()
+        if self.srq_pool is not None:
+            self.srq_pool.repost()
+        else:
+            self._post_recv_wr()
         if self.credits is not None:
             self.credits.on_local_repost()
 

@@ -1,0 +1,178 @@
+"""Shared per-host EXS resources: the SRQ receive pool and CQ shards.
+
+Historically every EXS connection owned a private stack of verbs
+resources: ``credits`` pre-posted receive buffers, one completion queue,
+one completion channel, and one progress-engine process.  That is faithful
+to the two-host experiments of the paper but scales per-connection: a host
+terminating N connections posts O(N·credits) receive buffers and runs N
+engine processes each polling its own CQ.
+
+Two opt-in resources change that to O(1) / O(shards) per host:
+
+* :class:`SrqPool` — one shared receive queue
+  (:class:`~repro.verbs.srq.SharedReceiveQueue`) backing the control-plane
+  receive pools of every connection on the stack.  The pool is pre-filled
+  to ``depth`` once; each consumed buffer is re-posted on recycle.  When
+  bursts across connections drain the pool, the arriving QP takes an RNR
+  NAK exactly as an individual empty receive queue would (IBTA semantics:
+  RNR is evaluated against the SRQ for SRQ-attached QPs), and the sender's
+  reliability layer retries after the RNR backoff.
+* :class:`CqShard` — one completion channel + CQ + poller process shared
+  by many connections.  Completions are routed to their connection by
+  ``wc.qp_num`` in arrival order, then every registered connection gets a
+  progress round.  A host polls O(shards) CQs regardless of connection
+  count.
+
+Neither is active by default: ``ExsStack(srq_depth=None, cq_shards=0)``
+keeps the historical per-connection resources, bit-identical to previous
+builds.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Dict
+
+from ..simnet import AnyOf, Signal
+from ..verbs import QPStateError, RecvWR, SGE
+from .credits import CreditError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .connection import ExsConnection
+    from .socket import ExsStack
+
+__all__ = ["SrqPool", "CqShard"]
+
+
+class SrqPool:
+    """A stack-wide shared receive pool for control-plane buffers.
+
+    Owns the :class:`~repro.verbs.srq.SharedReceiveQueue`, the single
+    synthetic backing buffer (control messages carry their payload as a
+    python object, so one 256-byte buffer backs every slot), and its
+    memory registration.  Connections attach their QP to :attr:`srq` and
+    call :meth:`repost` instead of posting per-QP receives.
+
+    Eager-transport connections are *not* pooled: their receives place
+    payload bytes into per-connection bounce slots.
+    """
+
+    def __init__(self, stack: "ExsStack", depth: int) -> None:
+        from .connection import RECV_BUF_BYTES
+
+        if depth <= 0:
+            raise ValueError("SRQ pool depth must be positive")
+        self.stack = stack
+        self.depth = depth
+        self.srq = stack.device.create_srq(depth)
+        self.buf = stack.host.alloc(
+            RECV_BUF_BYTES, real=False, label=f"{stack.host.name}:srqpool"
+        )
+        self.mr = stack.device.register(self.buf)
+        self._recv_bytes = RECV_BUF_BYTES
+        self._wr_ids = itertools.count(1)
+        #: connections drawing from this pool (for telemetry)
+        self.attached = 0
+        for _ in range(depth):
+            self.repost()
+
+    def repost(self) -> None:
+        """Post one receive buffer back into the shared pool."""
+        self.srq.post_recv(
+            RecvWR(
+                wr_id=next(self._wr_ids),
+                sge=SGE(self.mr.addr, self._recv_bytes, self.mr.lkey),
+            )
+        )
+
+    # -- telemetry-facing views ----------------------------------------
+    @property
+    def free(self) -> int:
+        return self.srq.free
+
+    @property
+    def occupancy(self) -> int:
+        return len(self.srq)
+
+    @property
+    def empty_hits(self) -> int:
+        return self.srq.empty_hits
+
+    @property
+    def min_free(self) -> int:
+        return self.srq.min_free
+
+
+class CqShard:
+    """One completion vector: a shared channel + CQ and its poller.
+
+    Connections on a sharded stack are assigned round-robin to shards; the
+    shard's single engine process replaces their per-connection engines.
+    Each wake-up drains the shared CQ, dispatching completions to their
+    owning connection **in arrival order** (routed by ``wc.qp_num``), then
+    runs one progress round per registered connection until nothing moves,
+    then re-arms and sleeps — the same drain-while-awake discipline as the
+    per-connection engine.
+
+    A failing connection (credit collapse, QP teardown) breaks only
+    itself: the exception is translated into that connection's
+    ``fail_connection`` and the shard keeps servicing its siblings.
+    """
+
+    def __init__(self, stack: "ExsStack", index: int) -> None:
+        self.sim = stack.sim
+        self.host = stack.host
+        self.index = index
+        self.channel = stack.device.create_channel(
+            wakeup=getattr(stack.host, "wakeup_sampler", None),
+            seed=stack.next_seed(),
+        )
+        self.cq = stack.device.create_cq(self.channel)
+        self.kick = Signal(stack.sim)
+        self.conns: Dict[int, "ExsConnection"] = {}
+        #: completions routed through this shard (for telemetry)
+        self.wcs_dispatched = 0
+        self.rounds = 0
+        self._proc = stack.sim.process(
+            self._engine_loop(), name=f"{stack.host.name}-cqshard{index}"
+        )
+
+    def register(self, conn: "ExsConnection") -> None:
+        """Start servicing *conn* (called from ``on_peer_hello``)."""
+        self.conns[conn.qp.qpn] = conn
+        self.kick.fire()
+
+    def _engine_loop(self):
+        while True:
+            progressed = True
+            while progressed:
+                progressed = False
+                wcs = self.cq.poll()
+                for wc in wcs:
+                    conn = self.conns.get(wc.qp_num)
+                    if conn is None or conn.broken:
+                        continue
+                    self.wcs_dispatched += 1
+                    try:
+                        yield from conn._handle_wc(wc)
+                    except (CreditError, QPStateError) as exc:
+                        conn.fail_connection(f"{type(exc).__name__}: {exc}")
+                if wcs:
+                    progressed = True
+                for conn in list(self.conns.values()):
+                    if conn.broken:
+                        continue
+                    try:
+                        moved = yield from conn._progress_round()
+                    except (CreditError, QPStateError) as exc:
+                        conn.fail_connection(f"{type(exc).__name__}: {exc}")
+                        moved = True
+                    progressed = moved or progressed
+                self.rounds += 1
+            # drop dead connections so the service list stays tight
+            for qpn in [q for q, c in self.conns.items() if c.broken]:
+                del self.conns[qpn]
+            self.cq.req_notify()
+            if len(self.cq):
+                continue
+            yield AnyOf(self.sim, [self.channel.wait(), self.kick.wait()])

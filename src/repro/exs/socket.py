@@ -30,10 +30,21 @@ class ExsError(RuntimeError):
 
 
 class ExsStack:
-    """Per-host EXS library instance."""
+    """Per-host EXS library instance.
+
+    *srq_depth* (>0) makes every control-plane connection on this stack
+    draw receives from one shared pool of that many buffers (a
+    :class:`~repro.exs.shard.SrqPool`) instead of posting ``credits``
+    buffers per connection; *cq_shards* (>0) makes connections share that
+    many completion queues, each drained by one poller process
+    (:class:`~repro.exs.shard.CqShard`), instead of one CQ + engine per
+    connection.  Both default off, which keeps the historical
+    per-connection resources and event sequences bit-identical.
+    """
 
     def __init__(self, sim: Simulator, host: Host, device: RdmaDevice,
-                 cm: Optional[ConnectionManager] = None, *, seed: int = 0) -> None:
+                 cm: Optional[ConnectionManager] = None, *, seed: int = 0,
+                 srq_depth: Optional[int] = None, cq_shards: int = 0) -> None:
         self.sim = sim
         self.host = host
         self.device = device
@@ -44,6 +55,21 @@ class ExsStack:
         #: exposes it explicitly instead of hiding it per-transfer.
         self.mregister_base_ns = 10_000
         self.mregister_ns_per_page = 50
+        from .shard import CqShard, SrqPool  # circular at module load time
+
+        #: shared receive pool, or None for per-connection receive queues
+        self.srq_pool = SrqPool(self, srq_depth) if srq_depth else None
+        #: CQ shards, empty for per-connection completion queues
+        self.shards = [CqShard(self, i) for i in range(cq_shards)]
+        self._next_shard = 0
+
+    def take_shard(self):
+        """Round-robin shard assignment for a new connection (or None)."""
+        if not self.shards:
+            return None
+        shard = self.shards[self._next_shard % len(self.shards)]
+        self._next_shard += 1
+        return shard
 
     # -- ES-API entry points ---------------------------------------------
     def socket(self, socket_type: SocketType = SocketType.SOCK_STREAM,
@@ -131,6 +157,8 @@ class ExsSocket:
             options,
             channel_seed=self.stack.next_seed(),
             socket_type=self.socket_type,
+            srq=self.stack.srq_pool,
+            shard=self.stack.take_shard(),
         )
         new_sock.conn = conn
         new_sock.peer_hello = request.private_data
@@ -150,10 +178,13 @@ class ExsSocket:
     # ------------------------------------------------------------------
     # active side
     # ------------------------------------------------------------------
-    def connect(self, port: int, eq: ExsEventQueue, context: Any = None) -> None:
+    def connect(self, port: int, eq: ExsEventQueue, context: Any = None,
+                *, to: Optional[str] = None) -> None:
         """``exs_connect()``: asynchronously connect to *port* on the peer.
 
-        Posts a ``CONNECT`` event when established.
+        Posts a ``CONNECT`` event when established.  On a multi-host
+        fabric *to* names the destination host; the classic point-to-point
+        wire has an implicit peer and ignores it.
         """
         if self.conn is not None:
             raise ExsError("socket already connected")
@@ -165,15 +196,18 @@ class ExsSocket:
             self.options,
             channel_seed=self.stack.next_seed(),
             socket_type=self.socket_type,
+            srq=self.stack.srq_pool,
+            shard=self.stack.take_shard(),
         )
         self.conn = conn
-        self.stack.sim.process(self._connect_proc(port, eq, context), name="exs-connect")
+        self.stack.sim.process(self._connect_proc(port, eq, context, to), name="exs-connect")
 
-    def _connect_proc(self, port: int, eq: ExsEventQueue, context: Any):
+    def _connect_proc(self, port: int, eq: ExsEventQueue, context: Any,
+                      to: Optional[str] = None):
         conn = self.conn
         yield from conn.charge(conn.costs.post_wr_ns * self.options.credits)
         conn.post_initial_recvs()
-        done = self.stack.cm.connect(port, conn.qp, conn.hello())
+        done = self.stack.cm.connect(port, conn.qp, conn.hello(), to=to)
         try:
             _remote_qpn, peer_hello = yield done
         except Exception as exc:  # connection refused / rejected

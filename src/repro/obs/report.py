@@ -102,6 +102,55 @@ def _summary_section(art: RunArtifact, markdown: bool) -> List[str]:
     return ["## Connection summary" if markdown else "connection summary:", table]
 
 
+_PORT_KEY = _re.compile(r"^fabric\.port\.([^.]+)\.([^.]+)\.(.+)$")
+_SRQ_KEY = _re.compile(r"^srq\.([^.]+)\.(.+)$")
+
+
+def _fabric_section(art: RunArtifact, markdown: bool) -> List[str]:
+    """Switch-port queue/drop table + SRQ pool table (multi-host runs)."""
+    ports: Dict[Tuple[str, str], Dict[str, float]] = {}
+    pools: Dict[str, Dict[str, float]] = {}
+    for name, value in art.snapshot.items():
+        m = _PORT_KEY.match(name)
+        if m is not None:
+            switch, port, metric = m.groups()
+            ports.setdefault((switch, port), {})[metric] = value
+            continue
+        m = _SRQ_KEY.match(name)
+        if m is not None:
+            host, metric = m.groups()
+            pools.setdefault(host, {})[metric] = value
+    out: List[str] = []
+    if ports:
+        rows = []
+        for (switch, port), m in sorted(ports.items()):
+            rows.append([
+                f"{switch}:{port}",
+                _fmt_bytes(m.get("forwarded_bytes", 0)),
+                _fmt_bytes(m.get("peak_queue_bytes", 0)),
+                int(m.get("drops", 0)),
+                _fmt_bytes(m.get("dropped_bytes", 0)),
+                int(m.get("backpressured", 0)),
+            ])
+        out += ["## Switch ports" if markdown else "switch ports:",
+                _table(["port", "forwarded", "peak_queue", "drops",
+                        "dropped", "backpressured"], rows, markdown)]
+    if pools:
+        rows = []
+        for host, m in sorted(pools.items()):
+            rows.append([
+                host,
+                int(m.get("attached", 0)),
+                int(m.get("occupancy", 0)),
+                int(m.get("min_free", 0)),
+                int(m.get("empty_hits", 0)),
+            ])
+        out += ["## SRQ pools" if markdown else "srq pools:",
+                _table(["host", "conns", "posted", "min_posted", "empty_hits"],
+                       rows, markdown)]
+    return out
+
+
 def _ratio_strip(direct: TimeSeries, indirect: TimeSeries, width: int) -> str:
     """Per-window direct fraction rendered as a glyph strip."""
     dd = direct.deltas()
@@ -266,6 +315,7 @@ def render_report(
     else:
         sections.append(["=== telemetry run report ===", "  " + " | ".join(header_bits)])
     sections.append(_summary_section(art, markdown))
+    sections.append(_fabric_section(art, markdown))
     sections.append(_ratio_section(art, width, markdown))
     sections.append(_span_timeline(art.spans, width, markdown))
     sections.append(_slowest_section(art.spans, top_k, markdown))

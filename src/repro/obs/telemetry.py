@@ -79,7 +79,16 @@ class Telemetry:
         span_capacity: int = 1_000_000,
         max_samples: int = 100_000,
     ) -> "Telemetry":
-        """Create a session and wire it through a :class:`~repro.testbed.Testbed`."""
+        """Create a session and wire it through a testbed or fabric.
+
+        On the classic two-host wire (:class:`~repro.testbed.Testbed`, or
+        any direct topology) the gauge names are the historical flat ones
+        (``link.dir0.*``, ``faults.*``); on a multi-host
+        :class:`~repro.fabric.Fabric` every edge gets its own prefix
+        (``link.<edge>.*``, ``faults.<edge>.*``) and every switch port is
+        observed as ``fabric.port.<switch>.<port>.*``.  Hosts with an SRQ
+        pool additionally get ``srq.<host>.*`` occupancy gauges.
+        """
         tel = cls(
             testbed.sim,
             sample_interval_ns=sample_interval_ns,
@@ -90,17 +99,35 @@ class Telemetry:
         profile = getattr(testbed, "profile", None)
         if profile is not None:
             tel.meta.setdefault("profile", getattr(profile, "name", str(profile)))
-        for host in (testbed.client_host, testbed.server_host):
+        hosts = getattr(testbed, "all_hosts", None)
+        if hosts is None:  # pre-fabric testbed shapes
+            hosts = [testbed.host("client"), testbed.host("server")]
+        for host in hosts:
             tel.observe_host(host)
-        tel.observe_link(testbed.link)
-        impairment = getattr(testbed, "impairment", None)
-        if impairment is not None:
-            tel.observe_impairment(impairment)
-        for label, device in (("client", getattr(testbed, "client_device", None)),
-                              ("server", getattr(testbed, "server_device", None))):
+        topology = getattr(testbed, "topology", None)
+        if topology is not None and not topology.direct:
+            for name, link in testbed.links.items():
+                tel.observe_link(link, prefix=f"link.{name}")
+            for name, impairment in testbed.impairments.items():
+                tel.observe_impairment(impairment, prefix=f"faults.{name}")
+            for switch in testbed.switches.values():
+                tel.observe_switch(switch)
+        else:
+            tel.observe_link(testbed.link)
+            impairment = getattr(testbed, "impairment", None)
+            if impairment is not None:
+                tel.observe_impairment(impairment)
+        device_of = getattr(testbed, "device", None)
+        stack_of = getattr(testbed, "stack", None)
+        for host in hosts:
+            device = device_of(host.name) if device_of is not None else None
             engine = getattr(device, "reliability", None)
             if engine is not None:
-                tel.observe_reliability(label, engine)
+                tel.observe_reliability(host.name, engine)
+            stack = stack_of(host.name) if stack_of is not None else None
+            pool = getattr(stack, "srq_pool", None)
+            if pool is not None:
+                tel.observe_srq(host.name, pool)
         tel.sampler.start()
         return tel
 
@@ -119,31 +146,74 @@ class Telemetry:
         reg.gauge(f"{name}.mem.buffers", lambda h=host: h.memory.buffer_count,
                   "buffers allocated in the host arena")
 
-    def observe_link(self, link) -> None:
+    def observe_link(self, link, *, prefix: str = "link") -> None:
         """Register per-direction link counters as pull gauges."""
         reg = self.registry
         for d in link.directions:
-            prefix = f"link.dir{d.index}"
-            reg.gauge(f"{prefix}.messages", lambda d=d: d.stats.messages,
+            p = f"{prefix}.dir{d.index}"
+            reg.gauge(f"{p}.messages", lambda d=d: d.stats.messages,
                       "messages transmitted (cumulative)")
-            reg.gauge(f"{prefix}.wire_bytes", lambda d=d: d.stats.wire_bytes,
+            reg.gauge(f"{p}.wire_bytes", lambda d=d: d.stats.wire_bytes,
                       "payload bytes transmitted (cumulative)")
-            reg.gauge(f"{prefix}.busy_ns", lambda d=d: d.stats.busy_ns,
+            reg.gauge(f"{p}.busy_ns", lambda d=d: d.stats.busy_ns,
                       "transmitter busy time (cumulative ns)")
 
-    def observe_impairment(self, impairment) -> None:
+    def observe_impairment(self, impairment, *, prefix: str = "faults") -> None:
         """Register the fault-injection counters as pull gauges."""
         reg = self.registry
-        reg.gauge("faults.dropped", lambda m=impairment: m.dropped_total,
+        reg.gauge(f"{prefix}.dropped", lambda m=impairment: m.dropped_total,
                   "data messages dropped by the impairment model")
-        reg.gauge("faults.duplicated", lambda m=impairment: m.duplicated_total,
+        reg.gauge(f"{prefix}.duplicated", lambda m=impairment: m.duplicated_total,
                   "data messages duplicated by the impairment model")
-        reg.gauge("faults.corrupted", lambda m=impairment: m.corrupted_total,
+        reg.gauge(f"{prefix}.corrupted", lambda m=impairment: m.corrupted_total,
                   "data messages corrupted by the impairment model")
-        reg.gauge("faults.down_dropped", lambda m=impairment: m.down_dropped_total,
+        reg.gauge(f"{prefix}.down_dropped", lambda m=impairment: m.down_dropped_total,
                   "messages lost to scheduled link outages")
-        reg.gauge("faults.acks_dropped", lambda m=impairment: m.acks_dropped_total,
+        reg.gauge(f"{prefix}.acks_dropped", lambda m=impairment: m.acks_dropped_total,
                   "out-of-band ACK/NAKs dropped")
+
+    def observe_switch(self, switch) -> None:
+        """Register one switch's per-egress-port queue and drop counters.
+
+        Gauge names follow ``fabric.port.<switch>.<port>.*`` where the port
+        label is the neighbor node the port faces.
+        """
+        reg = self.registry
+        for port_name, port in switch.ports.items():
+            prefix = f"fabric.port.{switch.name}.{port_name}"
+            reg.gauge(f"{prefix}.queued_bytes", lambda p=port: p.queued_bytes,
+                      "bytes admitted to the egress queue (incl. in flight)")
+            reg.gauge(f"{prefix}.queued_frames", lambda p=port: p.queued_frames,
+                      "frames admitted to the egress queue")
+            reg.gauge(f"{prefix}.pending_bytes", lambda p=port: p.pending_bytes,
+                      "bytes held at ingress under backpressure")
+            reg.gauge(f"{prefix}.peak_queue_bytes", lambda p=port: p.peak_queue_bytes,
+                      "high-water mark of the egress queue (bytes)")
+            reg.gauge(f"{prefix}.forwarded", lambda p=port: p.forwarded,
+                      "frames forwarded (cumulative)")
+            reg.gauge(f"{prefix}.forwarded_bytes", lambda p=port: p.forwarded_bytes,
+                      "bytes forwarded (cumulative)")
+            reg.gauge(f"{prefix}.drops", lambda p=port: p.drops,
+                      "frames tail-dropped at the full queue")
+            reg.gauge(f"{prefix}.dropped_bytes", lambda p=port: p.dropped_bytes,
+                      "bytes tail-dropped at the full queue")
+            reg.gauge(f"{prefix}.backpressured", lambda p=port: p.backpressured,
+                      "frames held at ingress because the queue was full")
+
+    def observe_srq(self, label: str, pool) -> None:
+        """Register one host's shared-receive-pool occupancy gauges."""
+        reg = self.registry
+        prefix = f"srq.{label}"
+        reg.gauge(f"{prefix}.occupancy", lambda p=pool: p.occupancy,
+                  "receive buffers currently posted in the shared pool")
+        reg.gauge(f"{prefix}.free", lambda p=pool: p.free,
+                  "unposted capacity of the shared pool")
+        reg.gauge(f"{prefix}.min_free", lambda p=pool: p.min_free,
+                  "low-water mark of posted buffers")
+        reg.gauge(f"{prefix}.empty_hits", lambda p=pool: p.empty_hits,
+                  "arrivals that found the pool empty (RNR)")
+        reg.gauge(f"{prefix}.attached", lambda p=pool: p.attached,
+                  "connections drawing from the pool")
 
     def observe_reliability(self, label: str, engine) -> None:
         """Register one device's RC reliability counters as pull gauges."""

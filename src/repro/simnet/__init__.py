@@ -10,6 +10,8 @@ it) and provides:
 * :class:`~repro.simnet.process.Process` — generator-based processes.
 * :class:`~repro.simnet.resources.Resource` / :class:`~repro.simnet.resources.Store`.
 * :class:`~repro.simnet.link.Link` — serialized full-duplex link model.
+* :class:`~repro.simnet.fabric.Topology` / :class:`~repro.simnet.fabric.Switch`
+  — switched multi-host fabrics (store-and-forward, output-queued).
 * :class:`~repro.simnet.emulator.DelayEmulator` — Anue-style WAN delay/jitter.
 * :class:`~repro.simnet.faults.ImpairmentModel` — seeded lossy-wire faults.
 * :class:`~repro.simnet.schedule.SchedulePolicy` — same-instant tie-break
@@ -19,6 +21,7 @@ it) and provides:
 from .causality import FLIGHT_SCHEMA, CausalNode, CausalRecorder, enable_capture
 from .emulator import DelayEmulator, gaussian_jitter, uniform_jitter
 from .events import AllOf, AnyOf, Event, Signal, Timeout
+from .fabric import FabricFrame, NicPort, Switch, SwitchConfig, SwitchPort, Topology
 from .faults import (
     DUP_AND_CORRUPT,
     HEAVY_LOSS,
@@ -45,6 +48,7 @@ __all__ = [
     "DelayEmulator",
     "Event",
     "FLIGHT_SCHEMA",
+    "FabricFrame",
     "Fate",
     "FaultProfile",
     "FaultStats",
@@ -56,6 +60,7 @@ __all__ = [
     "Link",
     "LinkDirection",
     "LinkStats",
+    "NicPort",
     "Process",
     "RandomTiebreakPolicy",
     "Resource",
@@ -64,7 +69,11 @@ __all__ = [
     "SimulationError",
     "Simulator",
     "Store",
+    "Switch",
+    "SwitchConfig",
+    "SwitchPort",
     "Timeout",
+    "Topology",
     "enable_capture",
     "gaussian_jitter",
     "policy_from_spec",

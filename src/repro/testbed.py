@@ -10,6 +10,14 @@ the starting point of every example, test, and benchmark::
     tb.sim.process(client_app(tb.client), name="client")
     tb.run()
 
+Since the fabric API redesign, ``Testbed`` is the trivial two-host case of
+:class:`repro.fabric.Fabric` — a :meth:`~repro.simnet.fabric.Topology.point_to_point`
+topology with hosts named ``client`` and ``server`` — kept as the
+convenient front door for point-to-point experiments.  Its assembly takes
+exactly the same code path the standalone implementation did (one link,
+cross-wired peer devices, no switch), so event sequences are bit-identical
+to historical builds.
+
 The keyword-assembly spelling ``Testbed(profile, seed=..., faults=...)``
 still works as a deprecation shim; new code should describe the run as a
 :class:`repro.config.ScenarioConfig` so it serializes and replays.
@@ -17,27 +25,40 @@ still works as a deprecation shim; new code should describe the run as a
 
 from __future__ import annotations
 
-import os
-from dataclasses import replace
+import warnings
 from typing import Callable, Optional, Union
 
 from .bench.profiles import FDR_INFINIBAND, HardwareProfile
 from .config import ScenarioConfig, deprecated_signature
 from .exs import ExsStack
+from .fabric import Fabric
 from .hosts import Host
-from .simnet import DelayEmulator, FaultProfile, ImpairmentModel, Link, Simulator
+from .simnet import FaultProfile, ImpairmentModel, Topology
 from .simnet.schedule import SchedulePolicy
-from .verbs import ConnectionManager, ReliabilityConfig, connect_devices
-from .verbs.comp_channel import uniform_wakeup
+from .verbs import RdmaDevice, ReliabilityConfig
 
 __all__ = ["Testbed"]
 
 
-class Testbed:
-    """A client host and a server host joined by one RDMA-capable link."""
+def _host_shim(which: str) -> property:
+    def getter(self: "Testbed") -> Host:
+        warnings.warn(
+            f"Testbed.{which}_host is deprecated; use .host({which!r}) "
+            "(the Fabric spelling; see docs/API.md)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.host(which)
 
-    #: not a pytest test class, despite the importable name
-    __test__ = False
+    getter.__name__ = f"{which}_host"
+    getter.__doc__ = (
+        f"Deprecated alias for ``host({which!r})`` (emits DeprecationWarning)."
+    )
+    return property(getter)
+
+
+class Testbed(Fabric):
+    """A client host and a server host joined by one RDMA-capable link."""
 
     def __init__(
         self,
@@ -63,7 +84,8 @@ class Testbed:
         Passing *scenario* is the preferred spelling: profile, seed,
         faults, reliability, and the schedule policy are taken from it (and
         must not also be passed as keywords).  Assembling those knobs as
-        keyword arguments is deprecated.
+        keyword arguments is deprecated.  For topologies beyond the
+        two-host wire, use :class:`repro.fabric.Fabric`.
         """
         if scenario is not None:
             if (
@@ -77,104 +99,28 @@ class Testbed:
                     "pass either scenario= or the individual profile/seed/"
                     "faults/reliability/schedule_policy knobs, not both"
                 )
-            profile = scenario.resolve_profile()
-            seed = scenario.seed
-            faults = scenario.faults
-            reliability = scenario.reliability
-            schedule_policy = scenario.schedule_policy()
+            if scenario.topology is not None and not scenario.topology.direct:
+                raise ValueError(
+                    "Testbed is the two-host wire; build multi-host "
+                    "topologies with repro.fabric.Fabric"
+                )
+            super().__init__(scenario=scenario, jitter=jitter, trace=trace)
         else:
             deprecated_signature(
                 "assembling Testbed(...) from scattered keyword arguments",
                 "describe the run as a repro.ScenarioConfig and use "
                 "Testbed.from_scenario(scenario) or Testbed(scenario=...)",
             )
-        self.scenario = scenario
-        self.profile = profile
-        self.seed = seed
-        self.sim = Simulator(trace=trace, schedule_policy=schedule_policy)
-
-        #: the run's :class:`~repro.simnet.causality.CausalRecorder` when the
-        #: scenario asked for capture (``causal_capture``/``flight_recorder``)
-        self.causal = None
-        if scenario is not None and (scenario.causal_capture or scenario.flight_recorder):
-            from .simnet.causality import CausalRecorder, enable_capture
-
-            try:
-                scenario_dict = scenario.to_dict()
-            except ValueError:  # ad-hoc unregistered profile: dump without it
-                scenario_dict = None
-            self.causal = enable_capture(self.sim, CausalRecorder(
-                capacity=None if scenario.causal_capture else scenario.flight_recorder,
-                dump_dir=scenario.telemetry_dir,
-                scenario=scenario_dict,
-            ))
-
-        self.client_host = Host(
-            self.sim, "client",
-            copy_bandwidth_bps=profile.copy_bandwidth_bps,
-            cpu_costs=profile.cpu_costs,
-        )
-        self.server_host = Host(
-            self.sim, "server",
-            copy_bandwidth_bps=profile.copy_bandwidth_bps,
-            cpu_costs=profile.cpu_costs,
-        )
-        # Completion-channel wake-up latency distribution (per host; the
-        # per-channel RNG seed comes from the stack so runs are reproducible).
-        sampler = uniform_wakeup(profile.wakeup_lo_ns, profile.wakeup_hi_ns)
-        self.client_host.wakeup_sampler = sampler
-        self.server_host.wakeup_sampler = sampler
-
-        emulator = None
-        if profile.emulator_delay_ns or jitter is not None:
-            emulator = DelayEmulator(profile.emulator_delay_ns, jitter=jitter, seed=seed + 7)
-
-        if isinstance(faults, FaultProfile):
-            faults = ImpairmentModel(faults, seed=seed + 13)
-        self.impairment: Optional[ImpairmentModel] = faults
-
-        self.link = Link(
-            self.sim,
-            bandwidth_bps=profile.link_bandwidth_bps,
-            propagation_delay_ns=profile.propagation_delay_ns,
-            per_message_overhead_ns=profile.per_message_overhead_ns,
-            emulator=emulator,
-            impairment=self.impairment,
-        )
-        if self.impairment is not None and reliability is None:
-            reliability = ReliabilityConfig.for_path(
-                profile.propagation_delay_ns + profile.emulator_delay_ns
+            super().__init__(
+                topology=Topology.point_to_point(),
+                jitter=jitter,
+                trace=trace,
+                profile=profile,
+                seed=seed,
+                faults=faults,
+                reliability=reliability,
+                schedule_policy=schedule_policy,
             )
-        # The CI variant matrix forces a reliability discipline across an
-        # unmodified suite: derive a path-scaled config if none exists yet,
-        # then pin its mode.
-        mode_env = os.environ.get("REPRO_RELIABILITY_MODE", "").strip()
-        if mode_env:
-            if reliability is None:
-                reliability = ReliabilityConfig.for_path(
-                    profile.propagation_delay_ns + profile.emulator_delay_ns
-                )
-            if reliability.mode != mode_env:
-                reliability = replace(reliability, mode=mode_env)
-        self.reliability = reliability
-        device_config = profile.device
-        if reliability is not None:
-            device_config = replace(device_config, reliability=reliability)
-        self.client_device, self.server_device = connect_devices(
-            self.sim, self.client_host, self.server_host, self.link,
-            config_a=device_config, config_b=device_config,
-        )
-        self.client = ExsStack(
-            self.sim, self.client_host, self.client_device,
-            ConnectionManager(self.client_device), seed=seed * 2 + 1,
-        )
-        self.server = ExsStack(
-            self.sim, self.server_host, self.server_device,
-            ConnectionManager(self.server_device), seed=seed * 2 + 2,
-        )
-
-        #: set by :meth:`attach_telemetry`
-        self.telemetry = None
 
     @classmethod
     def from_scenario(
@@ -190,27 +136,27 @@ class Testbed:
         """
         return cls(jitter=jitter, trace=trace, scenario=scenario)
 
-    def attach_telemetry(self, **kwargs):
-        """Attach a :class:`repro.obs.Telemetry` session to this testbed.
-
-        Keyword arguments are forwarded to
-        :meth:`repro.obs.Telemetry.attach` (``sample_interval_ns``,
-        ``span_capacity``, ``max_samples``).  Returns the session.
-        """
-        from .obs import Telemetry
-
-        self.telemetry = Telemetry.attach(self, **kwargs)
-        return self.telemetry
-
-    def run(self, until=None, *, max_events: Optional[int] = None):
-        """Run the simulation (see :meth:`repro.simnet.Simulator.run`)."""
-        try:
-            return self.sim.run(until, max_events=max_events)
-        finally:
-            if self.telemetry is not None:
-                # flush the tail interval the periodic tick never reaches
-                self.telemetry.sampler.finish()
+    # -- two-host accessors --------------------------------------------
+    # The canonical spelling is the Fabric one (host("client"), stack,
+    # device); client/server remain first-class conveniences, while the
+    # *_host attribute spellings are deprecation shims.
+    client_host = _host_shim("client")
+    server_host = _host_shim("server")
 
     @property
-    def now(self) -> int:
-        return self.sim.now
+    def client(self) -> ExsStack:
+        """The EXS stack on the client host."""
+        return self.stack("client")
+
+    @property
+    def server(self) -> ExsStack:
+        """The EXS stack on the server host."""
+        return self.stack("server")
+
+    @property
+    def client_device(self) -> RdmaDevice:
+        return self.device("client")
+
+    @property
+    def server_device(self) -> RdmaDevice:
+        return self.device("server")

@@ -63,13 +63,16 @@ class ProtocolTracer:
     # ------------------------------------------------------------------
     @classmethod
     def attach(cls, testbed, capacity: int = 1_000_000) -> "ProtocolTracer":
-        """Create a tracer and attach it to both hosts of a testbed.
+        """Create a tracer and attach it to every host of a testbed/fabric.
 
         Connections created afterwards emit events into it.
         """
         tracer = cls(capacity)
-        testbed.client_host.tracer = tracer
-        testbed.server_host.tracer = tracer
+        hosts = getattr(testbed, "all_hosts", None)
+        if hosts is None:  # pre-fabric testbed shapes
+            hosts = [testbed.host("client"), testbed.host("server")]
+        for host in hosts:
+            host.tracer = tracer
         return tracer
 
     def emit(self, time_ns: int, conn: int, host: str, kind: str, **fields) -> None:

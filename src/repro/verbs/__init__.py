@@ -23,6 +23,7 @@ from .errors import (
 from .mr import MemoryRegion, ProtectionDomain
 from .qp import QueuePair
 from .reliability import ReliabilityConfig, ReliabilityEngine, ReliabilityStats
+from .srq import SharedReceiveQueue
 from .wire import HEADER_BYTES, AckMessage, CmMessage, DataMessage, TermMessage
 from .wr import SGE, RecvWR, SendWR
 
@@ -53,6 +54,7 @@ __all__ = [
     "ReliabilityStats",
     "RemoteAccessError",
     "SGE",
+    "SharedReceiveQueue",
     "TermMessage",
     "SendFlags",
     "SendWR",

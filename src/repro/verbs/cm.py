@@ -124,11 +124,15 @@ class ConnectionManager:
         return listener
 
     # -- active side ------------------------------------------------------
-    def connect(self, port: int, qp: QueuePair, private_data: Optional[Dict[str, Any]] = None) -> Event:
+    def connect(self, port: int, qp: QueuePair, private_data: Optional[Dict[str, Any]] = None,
+                *, to: Optional[str] = None) -> Event:
         """Start connecting *qp* to *port* on the peer.
 
         Returns an event that succeeds with ``(remote_qpn, private_data)``
         from the REP, after which the QP is connected and RTU has been sent.
+        On a multi-host fabric *to* names the destination host (the REQ is
+        the one CM datagram that cannot be routed by QPN); the classic
+        point-to-point wire has an implicit peer and ignores it.
         """
         done = Event(self.sim)
         # remember qp alongside the event so the REP handler can bind it
@@ -138,6 +142,7 @@ class ConnectionManager:
                 kind="req",
                 port=port,
                 src_qpn=qp.qpn,
+                dst_lid=to or "",
                 private_data=dict(private_data or {}),
             )
         )

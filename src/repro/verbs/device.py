@@ -36,6 +36,7 @@ from .errors import BadWorkRequest, ReceiverNotReady, RemoteAccessError, VerbsEr
 from .mr import ProtectionDomain
 from .qp import QueuePair
 from .reliability import ACCEPT, DUPLICATE, ReliabilityConfig, ReliabilityEngine
+from .srq import SharedReceiveQueue
 from .wire import AckMessage, CmMessage, DataMessage, HEADER_BYTES, TermMessage
 
 __all__ = ["DeviceConfig", "RdmaDevice", "connect_devices"]
@@ -79,12 +80,18 @@ class RdmaDevice:
 
         self.pd = ProtectionDomain(self)
         self._qps: Dict[int, QueuePair] = {}
-        self._next_qpn = itertools.count(self.device_id * 1000 + 1)
+        # QPNs are globally unique (the device counter is process-wide), so
+        # a fabric can route any message by destination QPN alone; the wide
+        # stride keeps them unique even for thousand-QP devices.
+        self._next_qpn = itertools.count(self.device_id * 1_000_000 + 1)
 
         self.link: Optional[Link] = None
         self.endpoint: Optional[int] = None
         self.tx: Optional[LinkDirection] = None
         self.peer: Optional["RdmaDevice"] = None
+        #: the multi-host fabric this device is attached to, if any
+        #: (see :meth:`attach_fabric`; ``None`` on the classic p2p wire)
+        self.fabric = None
 
         # send engine
         self._service: Deque[QueuePair] = deque()
@@ -120,10 +127,17 @@ class RdmaDevice:
     def create_cq(self, channel: Optional[CompletionChannel] = None) -> CompletionQueue:
         return CompletionQueue(channel)
 
-    def create_qp(self, send_cq: CompletionQueue, recv_cq: CompletionQueue) -> QueuePair:
-        qp = QueuePair(self, next(self._next_qpn), send_cq, recv_cq)
+    def create_qp(self, send_cq: CompletionQueue, recv_cq: CompletionQueue,
+                  srq: Optional[SharedReceiveQueue] = None) -> QueuePair:
+        qp = QueuePair(self, next(self._next_qpn), send_cq, recv_cq, srq=srq)
         self._qps[qp.qpn] = qp
+        if self.fabric is not None:
+            self.fabric.register_qpn(qp.qpn, self)
         return qp
+
+    def create_srq(self, max_wr: int) -> SharedReceiveQueue:
+        """Create a shared receive queue; pass it to :meth:`create_qp`."""
+        return SharedReceiveQueue(self, max_wr)
 
     def register(self, buffer, access: Access = Access.remote()):
         """Register a buffer in this device's protection domain."""
@@ -138,6 +152,24 @@ class RdmaDevice:
         self.link = link
         self.endpoint = endpoint
         self.tx = link.attach(endpoint, self._on_wire)
+
+    def attach_fabric(self, fabric, link: Link, endpoint: int, tx) -> None:
+        """Bind this device to a multi-host fabric.
+
+        *link* is the host's access link (kept for latency and ACK-loss
+        queries), *tx* the addressed NIC port the fabric built (a
+        :class:`~repro.simnet.fabric.NicPort`).  The fabric wires the
+        delivery handler itself, stripping fabric frames before they reach
+        :meth:`_on_wire`.
+        """
+        if self.link is not None:
+            raise VerbsError("device already attached to a link")
+        self.fabric = fabric
+        self.link = link
+        self.endpoint = endpoint
+        self.tx = tx
+        for qpn in self._qps:
+            fabric.register_qpn(qpn, self)
 
     # ------------------------------------------------------------------
     # send path
@@ -273,7 +305,9 @@ class RdmaDevice:
                     rel.send_nak(qp)
                 return
             if (msg.opcode in (Opcode.SEND, Opcode.RDMA_WRITE_WITH_IMM)
-                    and not qp.rq):
+                    and not qp.has_recv()):
+                if qp.srq is not None:
+                    qp.srq.empty_hits += 1
                 rel.send_rnr(qp)
                 return
         qp.messages_received += 1
@@ -328,12 +362,14 @@ class RdmaDevice:
             rel.pop_buffered(qp, buffered.seq)
 
     def _place_send(self, qp: QueuePair, msg: DataMessage) -> None:
-        if not qp.rq:
+        if not qp.has_recv():
+            if qp.srq is not None:
+                qp.srq.empty_hits += 1
             raise ReceiverNotReady(
                 f"SEND of {msg.payload_bytes}B on QP {qp.qpn} with empty receive queue "
                 "(EXS credit accounting bug?)"
             )
-        wr = qp.rq.popleft()
+        wr = qp.take_recv()
         if msg.payload_bytes > wr.length:
             raise BadWorkRequest(
                 f"SEND of {msg.payload_bytes}B overflows RECV of {wr.length}B"
@@ -366,12 +402,14 @@ class RdmaDevice:
             mr.buffer.write_chunk(off, msg.payload)
 
     def _consume_recv(self, qp: QueuePair, msg: DataMessage, with_imm: bool) -> None:
-        if not qp.rq:
+        if not qp.has_recv():
+            if qp.srq is not None:
+                qp.srq.empty_hits += 1
             raise ReceiverNotReady(
                 f"WRITE_WITH_IMM on QP {qp.qpn} with empty receive queue "
                 "(EXS credit accounting bug?)"
             )
-        wr = qp.rq.popleft()
+        wr = qp.take_recv()
         qp.recv_cq.push(
             WorkCompletion(
                 wr_id=wr.wr_id,
@@ -451,9 +489,15 @@ class RdmaDevice:
 
         ACKs travel out of band (tiny coalesced link-layer packets), so
         impairment applies only drop/outage to them — checked *before* the
-        jitter draw so a lost ACK consumes no jitter sample.
+        jitter draw so a lost ACK consumes no jitter sample.  On a fabric
+        the destination device is resolved through the QPN registry and the
+        delay is the summed propagation of the routed path (ACKs bypass
+        switch queues, like the coalesced link-level packets they model).
         """
-        if self.peer is None or self.link is None:
+        peer = self.peer
+        if peer is None and self.fabric is not None:
+            peer = self.fabric.device_of_qpn(qp.remote_qpn)
+        if peer is None or self.link is None:
             raise VerbsError("device has no peer for ACK delivery")
         msn = self._consumed_msn.get(qp.qpn, -1)
         impairment = self.link.impairment
@@ -465,8 +509,14 @@ class RdmaDevice:
         sack = (self.reliability.sack_bitmap(qp)
                 if self.reliability is not None else 0)
         ack = AckMessage(dst_qpn=qp.remote_qpn, msn=msn, kind=kind, sack=sack)
-        delay = self.config.ack_turnaround_ns + self.link.sample_propagation_ns(self.endpoint)
-        self.sim.call_in(delay, self.peer._on_ack, ack)
+        if self.peer is not None:
+            # point-to-point: identical to the classic model (jitter draw
+            # from this link's emulator included)
+            prop = self.link.sample_propagation_ns(self.endpoint)
+        else:
+            prop = self.fabric.ack_path_ns(self, peer)
+        delay = self.config.ack_turnaround_ns + prop
+        self.sim.call_in(delay, peer._on_ack, ack)
         if self.sim._recorder is not None:
             self.sim._recorder.annotate_last(
                 1,

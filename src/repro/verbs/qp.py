@@ -12,6 +12,7 @@ from .wr import RecvWR, SendWR
 
 if TYPE_CHECKING:  # pragma: no cover
     from .device import RdmaDevice
+    from .srq import SharedReceiveQueue
 
 __all__ = ["QueuePair"]
 
@@ -32,12 +33,15 @@ class QueuePair:
         send_cq: CompletionQueue,
         recv_cq: CompletionQueue,
         max_inline: int = 256,
+        srq: Optional["SharedReceiveQueue"] = None,
     ) -> None:
         self.device = device
         self.qpn = qpn
         self.send_cq = send_cq
         self.recv_cq = recv_cq
         self.max_inline = max_inline
+        #: when set, receives come from the shared pool, not :attr:`rq`
+        self.srq = srq
         self.state = QPState.RESET
         self.remote_qpn: Optional[int] = None
 
@@ -147,8 +151,25 @@ class QueuePair:
         """Queue a receive work request (returns immediately)."""
         if self.state is QPState.ERROR:
             raise QPStateError(f"post_recv on QP {self.qpn} in ERROR state")
+        if self.srq is not None:
+            raise BadWorkRequest(
+                f"QP {self.qpn} is SRQ-attached; post receives to the SRQ"
+            )
         self.rq.append(wr)
         self.recvs_posted += 1
+
+    # -- receive-source indirection (per-QP RQ or shared SRQ) ----------
+    def has_recv(self) -> bool:
+        """True when a receive WR is available for an arriving message."""
+        if self.srq is not None:
+            return len(self.srq) > 0
+        return bool(self.rq)
+
+    def take_recv(self) -> RecvWR:
+        """Consume the next receive WR (RQ head, or the SRQ pool's)."""
+        if self.srq is not None:
+            return self.srq.take()
+        return self.rq.popleft()
 
     # ------------------------------------------------------------------
     # used by the transport engine

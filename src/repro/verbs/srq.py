@@ -1,0 +1,78 @@
+"""Shared receive queues.
+
+A :class:`SharedReceiveQueue` (SRQ) lets N queue pairs on one device draw
+receive work requests from a single posted-buffer pool instead of each QP
+pre-posting its own — the resource-multiplexing trick that makes
+thousand-connection endpoints affordable (cf. RDMAvisor, PAPERS.md): the
+posted-buffer footprint scales with the *pool depth*, not with the number
+of connections.
+
+RNR semantics are preserved exactly: an arriving SEND (or WRITE_WITH_IMM)
+that finds the pool empty triggers an RNR NAK on the **arriving QP**, and
+the sender's reliability layer backs off and retransmits once a buffer is
+reposted, just as with a per-QP receive queue (IBTA behaviour: the RNR
+condition is evaluated against the SRQ when the QP is SRQ-attached).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque
+
+from .errors import VerbsError
+from .wr import RecvWR
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .device import RdmaDevice
+
+__all__ = ["SharedReceiveQueue"]
+
+
+class SharedReceiveQueue:
+    """A device-level pool of receive WRs shared by SRQ-attached QPs."""
+
+    def __init__(self, device: "RdmaDevice", max_wr: int) -> None:
+        if max_wr <= 0:
+            raise VerbsError("SRQ max_wr must be positive")
+        self.device = device
+        self.max_wr = max_wr
+        self._wrs: Deque[RecvWR] = deque()
+        # occupancy accounting (telemetry reads these as pull gauges)
+        self.posted_total = 0
+        self.consumed_total = 0
+        #: arrivals that found the pool empty (each one is an RNR episode
+        #: on the arriving QP when reliability is enabled)
+        self.empty_hits = 0
+        self.min_free = max_wr
+
+    # ------------------------------------------------------------------
+    def post_recv(self, wr: RecvWR) -> None:
+        """Add one receive WR to the shared pool."""
+        if len(self._wrs) >= self.max_wr:
+            raise VerbsError(
+                f"SRQ overflow: {self.max_wr} WRs already posted"
+            )
+        self._wrs.append(wr)
+        self.posted_total += 1
+
+    def take(self) -> RecvWR:
+        """Consume the head WR (transport side; pool must be non-empty)."""
+        wr = self._wrs.popleft()
+        self.consumed_total += 1
+        free = len(self._wrs)
+        if free < self.min_free:
+            self.min_free = free
+        return wr
+
+    def __len__(self) -> int:
+        return len(self._wrs)
+
+    @property
+    def depth(self) -> int:
+        """WRs currently posted and unconsumed."""
+        return len(self._wrs)
+
+    @property
+    def free(self) -> int:
+        """Headroom before :meth:`post_recv` overflows."""
+        return self.max_wr - len(self._wrs)

@@ -108,6 +108,10 @@ class CmMessage:
     port: int
     src_qpn: int = 0
     dst_qpn: int = 0
+    #: destination host name on a multi-host fabric (REQ only — every
+    #: other kind is routed by ``dst_qpn``); empty on the classic
+    #: point-to-point wire, where the peer is implicit
+    dst_lid: str = ""
     private_data: Dict[str, Any] = field(default_factory=dict)
 
     def wire_bytes(self) -> int:

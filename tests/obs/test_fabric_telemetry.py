@@ -1,0 +1,80 @@
+"""Telemetry over a multi-host fabric: switch-port and SRQ gauges."""
+
+from repro.apps.incast import (
+    IncastConfig,
+    _receiver_proc,
+    _sender_proc,
+    incast_topology,
+)
+from repro.config import ScenarioConfig
+from repro.exs import ExsSocketOptions
+from repro.fabric import Fabric
+from repro.obs.report import render_report
+
+
+def _observed_incast(**scenario_kw):
+    cfg = IncastConfig(senders=3, bytes_per_sender=32 * 1024,
+                       message_bytes=8 * 1024)
+    sc = ScenarioConfig(topology=incast_topology(cfg), **scenario_kw)
+    fab = Fabric.from_scenario(sc)
+    tel = fab.attach_telemetry()
+    finish = {}
+    for i, name in enumerate(cfg.sender_names):
+        handle = fab.connect(name, cfg.sink, options=ExsSocketOptions())
+        fab.sim.process(_sender_proc(handle, cfg), name=f"snd{i}")
+        fab.sim.process(_receiver_proc(handle, cfg, finish, i), name=f"rcv{i}")
+    fab.run()
+    tel.finish()
+    return cfg, fab, tel
+
+
+def test_fabric_attach_registers_port_and_edge_gauges():
+    cfg, fab, tel = _observed_incast(seed=1)
+    snap = tel.registry.snapshot()
+    # per-edge link gauges (no flat legacy names on a switched fabric)
+    assert "link.s0-switch0.dir0.wire_bytes" in snap
+    assert "link.dir0.wire_bytes" not in snap
+    # per-port switch gauges carry real traffic accounting
+    assert snap["fabric.port.switch0.sink.forwarded_bytes"] >= cfg.senders * cfg.bytes_per_sender
+    assert snap["fabric.port.switch0.sink.drops"] == 0
+    assert snap["fabric.port.switch0.sink.peak_queue_bytes"] > 0
+    # per-host CPU gauges exist for every fabric host
+    for host in fab.host_names:
+        assert f"{host}.cpu.busy_ns" in snap
+
+
+def test_fabric_attach_registers_srq_gauges_when_pooled():
+    cfg, fab, tel = _observed_incast(seed=1, srq_depth=64, cq_shards=2)
+    snap = tel.registry.snapshot()
+    assert snap["srq.sink.attached"] == cfg.senders
+    assert snap["srq.sink.occupancy"] <= 64
+    assert snap["srq.sink.min_free"] <= 64
+    assert snap["srq.sink.empty_hits"] == 0
+
+
+def test_unpooled_fabric_has_no_srq_gauges():
+    cfg, fab, tel = _observed_incast(seed=1)
+    assert not any(k.startswith("srq.") for k in tel.registry.snapshot())
+
+
+def test_report_renders_switch_and_srq_sections():
+    cfg, fab, tel = _observed_incast(seed=1, srq_depth=64)
+    text = render_report(tel)
+    assert "switch ports:" in text
+    assert "switch0:sink" in text
+    assert "srq pools:" in text
+    markdown = render_report(tel, fmt="markdown")
+    assert "## Switch ports" in markdown
+    assert "## SRQ pools" in markdown
+
+
+def test_legacy_two_host_gauge_names_unchanged():
+    from repro.testbed import Testbed
+
+    tb = Testbed.from_scenario(ScenarioConfig(seed=1))
+    tel = tb.attach_telemetry()
+    tb.run(until=100_000)
+    snap = tel.registry.snapshot()
+    assert "link.dir0.wire_bytes" in snap
+    assert "link.dir1.busy_ns" in snap
+    assert not any(k.startswith("fabric.port.") for k in snap)

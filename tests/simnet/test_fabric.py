@@ -1,0 +1,228 @@
+"""Topology descriptions and the store-and-forward switch model."""
+
+import pytest
+
+from repro.simnet import Simulator, SwitchConfig, Topology
+from repro.simnet.fabric import FabricFrame, NicPort, Switch, host_delivery
+from repro.simnet.faults import Corrupted
+from repro.simnet.link import Link
+
+
+# ----------------------------------------------------------------------
+# Topology
+# ----------------------------------------------------------------------
+def test_point_to_point_is_direct():
+    topo = Topology.point_to_point()
+    assert topo.direct
+    assert topo.hosts == ("client", "server")
+    assert topo.switches == ()
+    assert topo.edge_names == ("client-server",)
+
+
+def test_star_two_hosts_collapses_to_direct_wire():
+    topo = Topology.star(["client", "server"])
+    assert topo.direct
+    assert topo == Topology.point_to_point()
+
+
+def test_star_shape():
+    topo = Topology.star(["a", "b", "c"])
+    assert topo.hosts == ("a", "b", "c")
+    assert topo.switches == ("switch0",)
+    assert topo.edge_names == ("a-switch0", "b-switch0", "c-switch0")
+    assert not topo.direct
+    assert topo.path("a", "c") == ["a", "switch0", "c"]
+    assert topo.next_hops("switch0") == {"a": "a", "b": "b", "c": "c"}
+
+
+def test_leaf_spine_shape():
+    topo = Topology.leaf_spine([["h0", "h1"], ["h2"]], spines=2)
+    assert set(topo.switches) == {"leaf0", "leaf1", "spine0", "spine1"}
+    assert topo.path("h0", "h1") == ["h0", "leaf0", "h1"]
+    # cross-leaf traffic goes through a spine (BFS tie-break: spine0)
+    assert topo.path("h0", "h2") == ["h0", "leaf0", "spine0", "leaf1", "h2"]
+
+
+def test_resolve_edge_accepts_either_order():
+    topo = Topology.star(["a", "b", "c"])
+    assert topo.resolve_edge("a-switch0") == 0
+    assert topo.resolve_edge("switch0-a") == 0
+    assert topo.resolve_edge("c-switch0") == 2
+
+
+def test_resolve_edge_unknown_name_lists_known_edges():
+    topo = Topology.star(["a", "b", "c"])
+    with pytest.raises(ValueError, match="a-switch0, b-switch0, c-switch0"):
+        topo.resolve_edge("a-nonexistent")
+
+
+@pytest.mark.parametrize("kwargs, match", [
+    (dict(hosts=("a",)), "at least two hosts"),
+    (dict(hosts=("a", "b"), switches=("a",)), "unique"),
+    (dict(hosts=("a", "b"), edges=(("a", "x"),)), "unknown node"),
+    (dict(hosts=("a", "b"), edges=(("a", "a"),)), "self-edge"),
+    (dict(hosts=("a", "b"), edges=(("a", "b"), ("b", "a"))), "duplicate edge"),
+    (dict(hosts=("a", "b"), edges=()), "single-homed"),
+])
+def test_topology_validation(kwargs, match):
+    with pytest.raises(ValueError, match=match):
+        Topology(**kwargs)
+
+
+def test_multihomed_host_rejected():
+    with pytest.raises(ValueError, match="single-homed"):
+        Topology(
+            hosts=("a", "b"), switches=("s0", "s1"),
+            edges=(("a", "s0"), ("a", "s1"), ("b", "s0"), ("s0", "s1")),
+        )
+
+
+def test_bandwidth_scale_validated_and_applied():
+    topo = Topology.star(["a", "b", "c"], bandwidth_scale=(("c-switch0", 0.25),))
+    assert topo.scale_for(topo.resolve_edge("c-switch0")) == 0.25
+    assert topo.scale_for(0) == 1.0
+    with pytest.raises(ValueError, match="unknown edge"):
+        Topology.star(["a", "b", "c"], bandwidth_scale=(("oops", 0.5),))
+    with pytest.raises(ValueError, match="must be > 0"):
+        Topology.star(["a", "b", "c"], bandwidth_scale=(("a-switch0", 0.0),))
+
+
+def test_topology_round_trips_through_dict():
+    topo = Topology.star(
+        ["a", "b", "c"],
+        switch=SwitchConfig(policy="backpressure", port_queue_bytes=4096),
+        bandwidth_scale=(("a-switch0", 0.5),),
+    )
+    assert Topology.from_dict(topo.to_dict()) == topo
+
+
+def test_switch_config_validation():
+    with pytest.raises(ValueError, match="policy"):
+        SwitchConfig(policy="teleport")
+    with pytest.raises(ValueError):
+        SwitchConfig(port_queue_bytes=0)
+
+
+# ----------------------------------------------------------------------
+# Switch behavior (driven directly, no devices)
+# ----------------------------------------------------------------------
+def _mini_switch(policy: str, queue_bytes: int = 2048):
+    """A switch with one ingress and one egress link; returns the pieces.
+
+    The egress link is slow (1 byte/ns serialization at 8 Gbit/s) so
+    frames pile up in the output queue while the test injects at ingress.
+    """
+    sim = Simulator()
+    ingress = Link(sim, bandwidth_bps=800_000_000_000, propagation_delay_ns=10)
+    egress = Link(sim, bandwidth_bps=8_000_000_000, propagation_delay_ns=10)
+    sw = Switch(sim, "sw", SwitchConfig(
+        policy=policy, port_queue_bytes=queue_bytes, forward_ns=0))
+    delivered = []
+    sw.add_port("src", ingress, 1)
+    sw.add_port("dst", egress, 0)
+    egress.attach(1, host_delivery(delivered.append))
+    sw.build_routes({"dst": "dst", "src": "src"})
+    sender = ingress.attach(0, lambda frame: None)
+    return sim, sw, sender, delivered
+
+
+def test_switch_forwards_and_counts():
+    sim, sw, sender, delivered = _mini_switch("drop")
+    for i in range(3):
+        sender.transmit(FabricFrame(f"msg{i}", 512, "dst"), 512)
+    sim.run()
+    assert delivered == ["msg0", "msg1", "msg2"]
+    assert sw.received == 3
+    port = sw.ports["dst"]
+    assert port.forwarded == 3
+    assert port.forwarded_bytes == 3 * 512
+    assert port.drops == 0
+    assert port.peak_queue_bytes > 0
+
+
+def test_switch_drop_policy_tail_drops_at_full_queue():
+    sim, sw, sender, delivered = _mini_switch("drop", queue_bytes=1024)
+    for i in range(8):
+        sender.transmit(FabricFrame(f"msg{i}", 512, "dst"), 512)
+    sim.run()
+    port = sw.ports["dst"]
+    assert port.drops > 0
+    assert port.dropped_bytes == port.drops * 512
+    assert len(delivered) == 8 - port.drops
+    # FIFO: the survivors are a prefix-ordered subsequence
+    assert delivered == sorted(delivered, key=lambda m: int(m[3:]))
+
+
+def test_switch_backpressure_policy_is_lossless():
+    sim, sw, sender, delivered = _mini_switch("backpressure", queue_bytes=1024)
+    for i in range(8):
+        sender.transmit(FabricFrame(f"msg{i}", 512, "dst"), 512)
+    sim.run()
+    port = sw.ports["dst"]
+    assert port.drops == 0
+    assert port.backpressured > 0
+    assert delivered == [f"msg{i}" for i in range(8)]
+    assert port.pending_bytes == 0  # fully drained
+
+
+def test_switch_oversized_frame_admitted_to_empty_queue():
+    sim, sw, sender, delivered = _mini_switch("drop", queue_bytes=256)
+    sender.transmit(FabricFrame("big", 4096, "dst"), 4096)
+    sim.run()
+    assert delivered == ["big"]
+
+
+def test_switch_discards_corrupt_frames_at_ingress():
+    sim, sw, sender, delivered = _mini_switch("drop")
+    sender.transmit(Corrupted(FabricFrame("junk", 512, "dst")), 512)
+    sender.transmit(FabricFrame("good", 512, "dst"), 512)
+    sim.run()
+    assert delivered == ["good"]
+    assert sw.corrupt_dropped == 1
+
+
+def test_fault_exempt_frames_bypass_the_full_queue():
+    class MgmtPayload:
+        fault_exempt = True
+
+    sim, sw, sender, delivered = _mini_switch("drop", queue_bytes=1024)
+    for i in range(6):
+        sender.transmit(FabricFrame(f"msg{i}", 512, "dst"), 512)
+    mgmt = MgmtPayload()
+    sender.transmit(FabricFrame(mgmt, 64, "dst"), 64)
+    sim.run()
+    assert mgmt in delivered
+    assert sw.ports["dst"].drops > 0  # data frames did drop around it
+
+
+def test_switch_raises_on_unroutable_destination():
+    sim, sw, sender, _ = _mini_switch("drop")
+    sender.transmit(FabricFrame("lost", 512, "nowhere"), 512)
+    with pytest.raises(Exception, match="no route"):
+        sim.run()
+
+
+def test_nic_port_wraps_payloads_with_resolved_destination():
+    sim = Simulator()
+    link = Link(sim, bandwidth_bps=8_000_000_000, propagation_delay_ns=5)
+    seen = []
+    link.attach(1, seen.append)
+    direction = link.attach(0, lambda f: None)
+    nic = NicPort(direction, lambda payload: "sink")
+    nic.transmit("hello", 64)
+    sim.run()
+    (frame,) = seen
+    assert isinstance(frame, FabricFrame)
+    assert frame.payload == "hello" and frame.dst == "sink"
+    assert frame.wire_bytes == 64
+
+
+def test_host_delivery_unwraps_fabric_and_corrupt_frames():
+    got = []
+    deliver = host_delivery(got.append)
+    deliver(FabricFrame("plain", 10, "h"))
+    deliver(Corrupted(FabricFrame("bad", 10, "h")))
+    deliver("raw")
+    assert got[0] == "plain"
+    assert isinstance(got[1], Corrupted) and got[1].payload == "bad"
+    assert got[2] == "raw"

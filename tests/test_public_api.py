@@ -23,7 +23,15 @@ from pathlib import Path
 
 import pytest
 
-MODULES = ["repro", "repro.exs", "repro.obs", "repro.check"]
+MODULES = [
+    "repro",
+    "repro.exs",
+    "repro.obs",
+    "repro.check",
+    "repro.fabric",
+    "repro.simnet.fabric",
+    "repro.apps.incast",
+]
 SNAPSHOT = Path(__file__).parent / "api_snapshot.json"
 
 _KINDS = {
