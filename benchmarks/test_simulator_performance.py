@@ -194,7 +194,9 @@ def test_real_bytes_indirect_blast_rate(benchmark):
 
 
 def _scale_incast(connections_per_sender: int, srq_depth, cq_shards,
-                  bytes_per_sender: int = 32 * 1024):
+                  bytes_per_sender: int = 32 * 1024,
+                  message_bytes: int = 16 * 1024,
+                  kernel=None, audit: bool = False):
     """16-sender switched fan-in at scale, synthetic payloads.
 
     Synthetic mode (like the calendar benchmarks, unlike the real-bytes
@@ -210,11 +212,12 @@ def _scale_incast(connections_per_sender: int, srq_depth, cq_shards,
         senders=16,
         connections_per_sender=connections_per_sender,
         bytes_per_sender=bytes_per_sender,
-        message_bytes=16 * 1024,
+        message_bytes=message_bytes,
         options=ExsSocketOptions(real_data=False),
     )
     return run_incast(cfg, ScenarioConfig(
-        seed=1, srq_depth=srq_depth, cq_shards=cq_shards))
+        seed=1, srq_depth=srq_depth, cq_shards=cq_shards, kernel=kernel),
+        audit=audit)
 
 
 def test_incast_256_connection_scale(benchmark):
@@ -264,6 +267,127 @@ def test_incast_1k_connection_scale(benchmark):
     assert result.switch_drops == 0
     benchmark.extra_info["end_ns"] = result.end_ns
     benchmark.extra_info["srq_min_free"] = result.srq_min_free
+
+
+def test_incast_1k_decoupled_kernel(benchmark):
+    """The same 1024-connection incast on the temporally decoupled kernel.
+
+    Per-host cells run their own calendars inside conservative lookahead
+    windows instead of interleaving through one global wheel.  The paired
+    row above (``test_incast_1k_connection_scale``) is the monolithic
+    baseline; this row must not regress relative to it.
+    """
+    result = benchmark.pedantic(
+        lambda: _scale_incast(64, srq_depth=8192, cq_shards=16,
+                              bytes_per_sender=16 * 1024, kernel="cells"),
+        rounds=2, iterations=1, warmup_rounds=0)
+    assert result.connections == 1024
+    assert result.switch_drops == 0
+    benchmark.extra_info["end_ns"] = result.end_ns
+    benchmark.extra_info["srq_min_free"] = result.srq_min_free
+    benchmark.extra_info["kernel"] = "cells"
+
+
+def test_incast_10k_decoupled_kernel(benchmark):
+    """10240-connection audited incast: the decoupled kernel's headline.
+
+    16 senders × 640 connections of 4 KiB each through one switch, with
+    the stream-semantics auditor on — every byte ordering and completion
+    invariant is checked across all ten thousand connections.  This scale
+    is only tractable on the shared-resource path plus the per-cell
+    calendars; the monolithic wheel runs it ~15% slower (see
+    ``docs/SIMULATION.md``).
+    """
+    result = benchmark.pedantic(
+        lambda: _scale_incast(640, srq_depth=65536, cq_shards=32,
+                              bytes_per_sender=4 * 1024,
+                              message_bytes=4 * 1024,
+                              kernel="cells", audit=True),
+        rounds=1, iterations=1, warmup_rounds=0)
+    assert result.connections == 10240
+    assert result.switch_drops == 0
+    assert result.audit_violations == 0
+    benchmark.extra_info["end_ns"] = result.end_ns
+    benchmark.extra_info["srq_min_free"] = result.srq_min_free
+    benchmark.extra_info["audit_violations"] = result.audit_violations
+    benchmark.extra_info["kernel"] = "cells"
+
+
+# ----------------------------------------------------------------------
+# Micro-benchmarks for the per-event O(N) scans removed at 10k scale
+# ----------------------------------------------------------------------
+def test_srq_lazy_prefill_bringup(benchmark):
+    """SRQ bring-up cost at fabric pool depth (64 pools × 64k slots).
+
+    ``prefill`` materialises receive WRs lazily: bring-up books the range
+    and ``take`` mints each WR on first use, so creating a 65536-slot
+    pool no longer allocates 65536 RecvWR objects up front — the cost
+    that dominated 10k-connection fabric construction.
+    """
+    from repro.fabric import Fabric
+    from repro.simnet import Topology
+    from repro.verbs.wr import SGE
+
+    def run():
+        fab = Fabric(topology=Topology.point_to_point())
+        device = fab.device("client")
+        sge = SGE(0, 256, 0)
+        taken = 0
+        for _ in range(64):
+            srq = device.create_srq(65536)
+            srq.prefill(65536, sge, wr_id_start=1)
+            assert len(srq) == 65536 and srq.free == 0
+            # consume a handful: lazy slots must come out FIFO-first
+            for i in range(128):
+                assert srq.take().wr_id == i + 1
+            taken += 128
+        return taken
+
+    assert benchmark(run) == 64 * 128
+
+
+def test_cq_poll_drain_throughput(benchmark):
+    """CompletionQueue.poll drain rate (the per-wakeup engine hot path).
+
+    Full drains take the bulk copy-and-clear fast path instead of
+    popleft-per-entry; partial drains keep FIFO order.
+    """
+    from repro.verbs.cq import CompletionQueue, WorkCompletion
+    from repro.verbs.enums import WCOpcode, WCStatus
+
+    wc = WorkCompletion(wr_id=1, opcode=WCOpcode.RECV, status=WCStatus.SUCCESS)
+
+    def run():
+        cq = CompletionQueue()
+        drained = 0
+        for _ in range(200):
+            for _ in range(512):
+                cq.push(wc)
+            drained += len(cq.poll(128))       # partial, FIFO
+            drained += len(cq.poll())          # bulk fast path
+            assert not len(cq)
+        return drained
+
+    assert benchmark(run) == 200 * 512
+
+
+def test_sparse_incast_idle_shard_laps(benchmark):
+    """Shard engines with mostly-idle registrations (256 conns, one 4 KiB
+    message each).
+
+    Progress rounds only visit dirty connections and quiescent laps skip
+    the trailing no-op pass, so a shard's cost tracks traffic, not its
+    registered-connection count — the regime that dominated sink shards
+    once fan-in reached thousands of connections.
+    """
+    result = benchmark.pedantic(
+        lambda: _scale_incast(16, srq_depth=2048, cq_shards=8,
+                              bytes_per_sender=4 * 1024,
+                              message_bytes=4 * 1024),
+        rounds=3, iterations=1, warmup_rounds=1)
+    assert result.connections == 256
+    assert result.switch_drops == 0
+    benchmark.extra_info["end_ns"] = result.end_ns
 
 
 def test_transport_crossover_grid(benchmark):

@@ -127,7 +127,10 @@ def incast_topology(config: IncastConfig) -> Topology:
 
 
 def _sender_proc(handle, config: IncastConfig):
-    yield handle.wait()
+    # Per-side wait: under the cells kernel this resumes the sender on its
+    # own host's calendar (handle.wait() fires wherever the second side of
+    # the handshake completes); on legacy kernels it IS handle.wait().
+    yield handle.wait_side("a")
     stack = handle.fabric.stack(handle.a)
     sock, eq = handle.a_socket, handle.a_eq
     buf = stack.alloc(config.message_bytes, label=f"incast:{handle.a}:snd")
@@ -142,7 +145,7 @@ def _sender_proc(handle, config: IncastConfig):
 
 
 def _receiver_proc(handle, config: IncastConfig, finish: Dict[int, int], index: int):
-    yield handle.wait()
+    yield handle.wait_side("b")
     stack = handle.fabric.stack(handle.b)
     sock, eq = handle.b_socket, handle.b_eq
     buf = stack.alloc(config.message_bytes, label=f"incast:{handle.a}:rcv")
@@ -264,6 +267,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--cq-shards", type=int, default=0)
     parser.add_argument("--audit", action="store_true",
                         help="record a protocol trace and re-verify invariants")
+    parser.add_argument("--kernel", default=None,
+                        choices=("legacy", "cells", "cells-lockstep", "decoupled"),
+                        help="event kernel (default: REPRO_KERNEL env, else legacy)")
     args = parser.parse_args(argv)
 
     config = IncastConfig(
@@ -275,7 +281,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         port_queue_bytes=args.port_queue_bytes,
     )
     scenario = ScenarioConfig(
-        seed=args.seed, srq_depth=args.srq_depth, cq_shards=args.cq_shards
+        seed=args.seed, srq_depth=args.srq_depth, cq_shards=args.cq_shards,
+        kernel=args.kernel,
     )
     result = run_incast(config, scenario, audit=args.audit)
     print(json.dumps(result.to_dict(), indent=2))

@@ -107,6 +107,15 @@ class ScenarioConfig:
     #: so devices poll O(shards), not O(connections); 0 keeps the
     #: historical per-connection engine loop (bit-identical)
     cq_shards: int = 0
+    #: event-kernel selection: ``None`` (the ``REPRO_KERNEL`` environment
+    #: variable, defaulting to the monolithic timing wheel), ``"wheel"``,
+    #: ``"heap"``, ``"cells"``/``"decoupled"`` (per-host calendars executed
+    #: in conservative lookahead windows; see :mod:`repro.simnet.cells`),
+    #: or ``"cells-lockstep"`` (the cells calendar in strict global order —
+    #: the bit-identical reference the determinism suite compares against).
+    #: Cells kernels need a switched topology and fall back to the
+    #: monolithic wheel otherwise (see docs/SIMULATION.md for the matrix).
+    kernel: Optional[str] = None
 
     def __post_init__(self) -> None:
         if isinstance(self.profile, str) and self.profile not in PROFILES:
@@ -126,6 +135,11 @@ class ScenarioConfig:
             raise ValueError("srq_depth must be positive (or None)")
         if self.cq_shards < 0:
             raise ValueError("cq_shards must be >= 0")
+        if self.kernel not in (None, "wheel", "heap", "cells", "decoupled", "cells-lockstep"):
+            raise ValueError(
+                f"unknown kernel {self.kernel!r} (expected 'wheel', 'heap', "
+                "'cells'/'decoupled', or 'cells-lockstep')"
+            )
         if self.schedule is not None:
             # normalize to a plain (kind, seed) tuple and validate eagerly
             if isinstance(self.schedule, SchedulePolicy):
@@ -199,6 +213,7 @@ class ScenarioConfig:
             "max_events": self.max_events,
             "srq_depth": self.srq_depth,
             "cq_shards": self.cq_shards,
+            "kernel": self.kernel,
         }
 
     @classmethod
@@ -228,4 +243,5 @@ class ScenarioConfig:
             max_events=data.get("max_events"),
             srq_depth=data.get("srq_depth"),
             cq_shards=int(data.get("cq_shards", 0)),
+            kernel=data.get("kernel"),
         )

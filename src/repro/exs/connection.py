@@ -335,6 +335,8 @@ class ExsConnection:
 
     def kick(self) -> None:
         """Wake the engine (user posted work / external state change)."""
+        if self._shard is not None:
+            self._shard.mark(self)
         self._kick.fire()
 
     def queue_control(self, msg: ControlMsg) -> None:
@@ -532,11 +534,21 @@ class ExsConnection:
         for advert_msg in self.rx.flush_adverts():
             self.queue_control(advert_msg)
             progressed = True
-        sent = yield from self.tx.pump()
-        progressed = bool(sent) or progressed
+        # The idle guards below skip constructing sub-pump generators whose
+        # first action would be returning False: with nothing pending the
+        # pumps yield no events, so skipping them is execution-equivalent
+        # and keeps quiescent rounds cheap on many-connection shards.
+        if self.tx.pending:
+            sent = yield from self.tx.pump()
+            progressed = bool(sent) or progressed
         progressed = self._pump_close() or progressed
-        ctrl = yield from self._pump_control()
-        progressed = ctrl or progressed
+        if self._ctrl_queue or (
+            self.credits is not None
+            and self.credits.ungranted()
+            >= self.options.effective_credit_update_threshold()
+        ):
+            ctrl = yield from self._pump_control()
+            progressed = ctrl or progressed
         progressed = self.rx.pump_eof() or progressed
         if self.tracer is not None:
             self._note_progress()

@@ -111,15 +111,27 @@ class ExsSocketOptions:
             raise ValueError("eager_threshold must be positive")
 
     def effective_transport(self) -> str:
-        """Resolve the transport: explicit field, else env, else WWI."""
+        """Resolve the transport: explicit field, else env, else WWI.
+
+        The environment resolution is memoized per options instance:
+        ``os.environ`` lookups go through the slow ``Mapping.get`` path,
+        and one shared options object is consulted once per connection —
+        measurable at 10k-connection bring-up.  Fresh instances re-read
+        the environment, which is what the CI variant matrix relies on.
+        """
         if self.transport is not None:
             return self.transport
+        memo = self.__dict__.get("_transport_memo")
+        if memo is not None:
+            return memo
         import os
 
         env = os.environ.get("REPRO_TRANSPORT", "").strip()
         if env and env not in (TRANSPORT_WWI, TRANSPORT_EAGER_RENDEZVOUS):
             raise ValueError(f"unknown REPRO_TRANSPORT {env!r}")
-        return env or TRANSPORT_WWI
+        resolved = env or TRANSPORT_WWI
+        object.__setattr__(self, "_transport_memo", resolved)
+        return resolved
 
     def effective_credit_update_threshold(self) -> int:
         return self.credit_update_threshold or max(1, self.credits // 2)

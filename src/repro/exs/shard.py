@@ -70,20 +70,22 @@ class SrqPool:
         )
         self.mr = stack.device.register(self.buf)
         self._recv_bytes = RECV_BUF_BYTES
-        self._wr_ids = itertools.count(1)
+        # Every pool slot is an interchangeable view of the same synthetic
+        # backing buffer, so one immutable SGE serves all of them; building
+        # a fresh (frozen, validated) SGE per repost dominated stack
+        # bring-up once depths reached the 10k-connection range.
+        self._sge = SGE(self.mr.addr, self._recv_bytes, self.mr.lkey)
         #: connections drawing from this pool (for telemetry)
         self.attached = 0
-        for _ in range(depth):
-            self.repost()
+        # Reserve wr_ids 1..depth for the lazy prefill range; reposts
+        # continue the sequence from depth+1, exactly as an eager prefill
+        # drawing from the same counter would have numbered them.
+        self._wr_ids = itertools.count(depth + 1)
+        self.srq.prefill(depth, self._sge, wr_id_start=1)
 
     def repost(self) -> None:
         """Post one receive buffer back into the shared pool."""
-        self.srq.post_recv(
-            RecvWR(
-                wr_id=next(self._wr_ids),
-                sge=SGE(self.mr.addr, self._recv_bytes, self.mr.lkey),
-            )
-        )
+        self.srq.post_recv(RecvWR(wr_id=next(self._wr_ids), sge=self._sge))
 
     # -- telemetry-facing views ----------------------------------------
     @property
@@ -130,6 +132,20 @@ class CqShard:
         self.cq = stack.device.create_cq(self.channel)
         self.kick = Signal(stack.sim)
         self.conns: Dict[int, "ExsConnection"] = {}
+        # Progress rounds only run for connections with a reason to move:
+        # a routed completion, an application kick, or movement in their
+        # previous round.  A quiescent connection's round is a no-op that
+        # yields nothing (every pump early-returns without charging), so
+        # skipping it leaves the event stream bit-identical while cutting
+        # the former every-round full scan of ``conns`` — the O(N) cost
+        # that dominated sink shards at 10k connections.
+        self._dirty: Dict[int, None] = {}
+        self._order: Dict[int, int] = {}
+        self._reg_seq = itertools.count()
+        # set when a registered connection is seen broken; gates the
+        # dead-connection sweep so quiescent laps stay O(1) in the
+        # registered-connection count
+        self._has_broken = False
         #: completions routed through this shard (for telemetry)
         self.wcs_dispatched = 0
         self.rounds = 0
@@ -139,10 +155,23 @@ class CqShard:
 
     def register(self, conn: "ExsConnection") -> None:
         """Start servicing *conn* (called from ``on_peer_hello``)."""
-        self.conns[conn.qp.qpn] = conn
+        qpn = conn.qp.qpn
+        self.conns[qpn] = conn
+        self._order[qpn] = next(self._reg_seq)
+        self._dirty[qpn] = None
         self.kick.fire()
 
+    def mark(self, conn: "ExsConnection") -> None:
+        """Queue *conn* for a progress round on the next engine pass."""
+        self._dirty[conn.qp.qpn] = None
+        if conn.broken:
+            # fail_connection kicks the connection, landing here; remember
+            # that a sweep is due instead of scanning every engine lap
+            self._has_broken = True
+
     def _engine_loop(self):
+        dirty = self._dirty
+        order = self._order
         while True:
             progressed = True
             while progressed:
@@ -153,25 +182,45 @@ class CqShard:
                     if conn is None or conn.broken:
                         continue
                     self.wcs_dispatched += 1
+                    dirty[wc.qp_num] = None
                     try:
                         yield from conn._handle_wc(wc)
                     except (CreditError, QPStateError) as exc:
                         conn.fail_connection(f"{type(exc).__name__}: {exc}")
                 if wcs:
                     progressed = True
-                for conn in list(self.conns.values()):
-                    if conn.broken:
-                        continue
-                    try:
-                        moved = yield from conn._progress_round()
-                    except (CreditError, QPStateError) as exc:
-                        conn.fail_connection(f"{type(exc).__name__}: {exc}")
-                        moved = True
-                    progressed = moved or progressed
+                if dirty:
+                    # registration order, exactly as the full scan iterated
+                    if len(dirty) > 1:
+                        batch = sorted(dirty, key=order.__getitem__)
+                    else:
+                        batch = list(dirty)
+                    dirty.clear()
+                    for qpn in batch:
+                        conn = self.conns.get(qpn)
+                        if conn is None or conn.broken:
+                            continue
+                        try:
+                            moved = yield from conn._progress_round()
+                        except (CreditError, QPStateError) as exc:
+                            conn.fail_connection(f"{type(exc).__name__}: {exc}")
+                            moved = True
+                        if moved:
+                            dirty[qpn] = None
+                            progressed = True
                 self.rounds += 1
+                if not dirty and not len(self.cq):
+                    # Nothing routed and nothing marked: the next pass would
+                    # poll an empty CQ and touch no connection, so skip the
+                    # no-op lap and go straight to re-arm.
+                    break
             # drop dead connections so the service list stays tight
-            for qpn in [q for q, c in self.conns.items() if c.broken]:
-                del self.conns[qpn]
+            if self._has_broken:
+                self._has_broken = False
+                for qpn in [q for q, c in self.conns.items() if c.broken]:
+                    del self.conns[qpn]
+                    self._order.pop(qpn, None)
+                    dirty.pop(qpn, None)
             self.cq.req_notify()
             if len(self.cq):
                 continue

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import itertools
 import os
+from contextlib import nullcontext
 from dataclasses import replace
 from typing import Callable, Dict, List, Optional, Union
 
@@ -81,23 +82,74 @@ class FabricConnection:
         self.established: Event = Event(fabric.sim)
         self.error: Optional[str] = None
         self._pending_sides = 2
+        # per-side connected events, created on demand by ready() so that
+        # legacy runs which never ask for them schedule nothing extra
+        self._ready: Dict[str, Optional[Event]] = {"a": None, "b": None}
 
     def wait(self) -> Event:
         """The event to ``yield`` on until both sides are connected."""
         return self.established
 
+    def ready(self, side: str) -> Event:
+        """Event succeeding (with this handle) when *side* is connected.
+
+        Unlike :attr:`established` — which fires wherever the *second*
+        side happens to complete — the per-side event fires in that
+        endpoint's own execution context, so under the cells kernel a
+        process waiting on it resumes on its host's calendar instead of
+        migrating to the peer host's.  Fails if that side's handshake
+        errors.
+        """
+        if side not in ("a", "b"):
+            raise ValueError(f"side must be 'a' or 'b', not {side!r}")
+        ev = self._ready[side]
+        if ev is None:
+            ev = self._ready[side] = Event(self.fabric.sim)
+        return ev
+
+    def wait_side(self, side: str) -> Event:
+        """Cells-safe wait for one endpoint: :meth:`ready` under the cells
+        kernel, the shared :attr:`established` event on legacy kernels
+        (whose single-calendar resume order is the historical one, bit for
+        bit)."""
+        if self.fabric.sim.is_cells:
+            return self.ready(side)
+        return self.established
+
     def _side_done(self, side: str, event) -> None:
+        # Runs in the finishing endpoint's execution context (the watcher
+        # process resumes wherever the EQ event was posted — that host's
+        # cell under the cells kernel).  Per-side results resolve here;
+        # the *shared* established event resolves via defer_control: the
+        # control cell on the cells kernel (a deterministic rendezvous
+        # ordered after every cell finishes the instant, however the two
+        # sides' completions interleave), a direct call on legacy kernels
+        # (the exact historical sequence).
         if event.kind is ExsEventType.ERROR:
-            self.error = event.error or "handshake failed"
-            if not self.established.triggered:
-                self.established.fail(RuntimeError(
-                    f"fabric connect {self.a}->{self.b}: {self.error}"
-                ))
+            err = event.error or "handshake failed"
+            ev = self._ready[side]
+            if ev is not None and not ev.triggered:
+                ev.fail(RuntimeError(f"fabric connect {self.a}->{self.b}: {err}"))
+            self.fabric.sim.defer_control(self._finish_side, (side, err))
             return
         if side == "a":
             self.a_socket = event.socket
         else:
             self.b_socket = event.socket
+        ev = self._ready[side]
+        if ev is not None:
+            ev.succeed(self)
+        self.fabric.sim.defer_control(self._finish_side, (side, None))
+
+    def _finish_side(self, args) -> None:
+        side, err = args
+        if err is not None:
+            self.error = err
+            if not self.established.triggered:
+                self.established.fail(RuntimeError(
+                    f"fabric connect {self.a}->{self.b}: {self.error}"
+                ))
+            return
         self._pending_sides -= 1
         if self._pending_sides == 0 and not self.established.triggered:
             self.established.succeed(self)
@@ -147,7 +199,56 @@ class Fabric:
         self.scenario = scenario
         self.profile = profile
         self.seed = seed
-        self.sim = Simulator(trace=trace, schedule_policy=schedule_policy)
+
+        # ---- event-kernel selection (see repro.simnet.cells) ----------
+        kernel = scenario.kernel if scenario is not None else None
+        if kernel is None:
+            kernel = os.environ.get("REPRO_KERNEL") or None
+        if kernel == "decoupled":
+            kernel = "cells"
+        #: the :class:`~repro.simnet.cells.CellMap` when this fabric runs
+        #: on the cells kernel, else ``None``
+        self.cellmap = None
+        #: resolved kernel: ``"cells"``, ``"cells-lockstep"``, or
+        #: ``"legacy"`` (the monolithic Simulator, whichever calendar
+        #: backend it selects)
+        self.kernel = "legacy"
+        if kernel in ("cells", "cells-lockstep"):
+            # Fallback matrix (documented in docs/SIMULATION.md): the cells
+            # kernel needs a switched topology (every edge must cross a
+            # host/switch cell boundary — direct host-to-host wires take
+            # the legacy peer assembly), FIFO same-instant order (schedule
+            # policies re-key a single global calendar), no causal capture
+            # (the recorder wraps the monolithic drain), and jitter-free
+            # delay emulation (a jitter callable samples one shared RNG
+            # whose draw order is the global wall order).
+            switches = set(self.topology.switches)
+            compatible = (
+                bool(switches)
+                and all(a in switches or b in switches for a, b in self.topology.edges)
+                and schedule_policy is None
+                and jitter is None
+                and not (scenario is not None
+                         and (scenario.causal_capture or scenario.flight_recorder))
+            )
+            if compatible:
+                from .simnet.cells import CellMap, CellSimulator
+
+                # jitter-free per-edge propagation = link base + emulator
+                # base (matches Link.propagation_ns for every edge)
+                prop = profile.propagation_delay_ns + profile.emulator_delay_ns
+                self.cellmap = CellMap.from_topology(self.topology, prop)
+                self.sim = CellSimulator(
+                    self.cellmap, trace=trace, decouple=(kernel == "cells")
+                )
+                self.kernel = kernel
+            else:
+                self.sim = Simulator(trace=trace, schedule_policy=schedule_policy)
+        else:
+            self.sim = Simulator(
+                trace=trace, schedule_policy=schedule_policy,
+                calendar=kernel if kernel in ("wheel", "heap") else None,
+            )
 
         #: the run's :class:`~repro.simnet.causality.CausalRecorder` when the
         #: scenario asked for capture (``causal_capture``/``flight_recorder``)
@@ -168,11 +269,12 @@ class Fabric:
         topo = self.topology
         self._hosts: Dict[str, Host] = {}
         for name in topo.hosts:
-            self._hosts[name] = Host(
-                self.sim, name,
-                copy_bandwidth_bps=profile.copy_bandwidth_bps,
-                cpu_costs=profile.cpu_costs,
-            )
+            with self._in_cell(name):
+                self._hosts[name] = Host(
+                    self.sim, name,
+                    copy_bandwidth_bps=profile.copy_bandwidth_bps,
+                    cpu_costs=profile.cpu_costs,
+                )
         # Completion-channel wake-up latency distribution (per host; the
         # per-channel RNG seed comes from the stack so runs are reproducible).
         sampler = uniform_wakeup(profile.wakeup_lo_ns, profile.wakeup_hi_ns)
@@ -223,14 +325,18 @@ class Fabric:
 
         self._devices: Dict[str, RdmaDevice] = {}
         for name in topo.hosts:
-            self._devices[name] = RdmaDevice(self.sim, self._hosts[name], device_config)
+            # the device's send-engine process must start on its host's
+            # calendar under the cells kernel
+            with self._in_cell(name):
+                self._devices[name] = RdmaDevice(self.sim, self._hosts[name], device_config)
 
         #: QPN → owning device, for fabric-wide routing
         self._qpn_home: Dict[int, RdmaDevice] = {}
         #: per-switch runtime instances, keyed by switch name
         self.switches: Dict[str, Switch] = {}
         for name in topo.switches:
-            self.switches[name] = Switch(self.sim, name, topo.switch)
+            with self._in_cell(name):
+                self.switches[name] = Switch(self.sim, name, topo.switch)
 
         for i, (a, b) in enumerate(topo.edges):
             link = self.links[topo.edge_names[i]]
@@ -256,16 +362,31 @@ class Fabric:
         for name, switch in self.switches.items():
             switch.build_routes(topo.next_hops(name))
 
+        if self.sim.is_cells:
+            # Cross-cell routing indices: each link direction delivers to
+            # the node at its opposite endpoint (edge (a, b) ⇒ direction 0
+            # sends from a toward b), and each device's out-of-band ACKs
+            # land on its own host's calendar.
+            idx = self.sim.cell_index
+            for i, (a, b) in enumerate(topo.edges):
+                link = self.links[topo.edge_names[i]]
+                link.directions[0].dst_cell = idx(b)
+                link.directions[1].dst_cell = idx(a)
+            for name, device in self._devices.items():
+                device.cell = idx(name)
+
         self._stacks: Dict[str, ExsStack] = {}
         self.srq_depth = srq_depth
         self.cq_shards = cq_shards
         for i, name in enumerate(topo.hosts):
             device = self._devices[name]
-            self._stacks[name] = ExsStack(
-                self.sim, self._hosts[name], device,
-                ConnectionManager(device), seed=seed * 2 + 1 + i,
-                srq_depth=srq_depth, cq_shards=cq_shards,
-            )
+            # shard poller processes start on their host's calendar
+            with self._in_cell(name):
+                self._stacks[name] = ExsStack(
+                    self.sim, self._hosts[name], device,
+                    ConnectionManager(device), seed=seed * 2 + 1 + i,
+                    srq_depth=srq_depth, cq_shards=cq_shards,
+                )
 
         #: set by :meth:`attach_telemetry`
         self.telemetry = None
@@ -275,6 +396,11 @@ class Fabric:
     # ------------------------------------------------------------------
     # construction helpers
     # ------------------------------------------------------------------
+    def _in_cell(self, name: str):
+        """Construction context: placements land in cell *name* under the
+        cells kernel; a no-op on legacy kernels."""
+        return self.sim.cell(name) if self.sim.is_cells else nullcontext()
+
     @classmethod
     def from_scenario(
         cls,

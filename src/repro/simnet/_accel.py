@@ -87,7 +87,7 @@ def _compile_and_import():
 def _configure(mod) -> None:
     # Runtime imports: this module must stay import-light because
     # kernel.py imports it at module load (before events/process exist).
-    from ._core import CBE_POOL_MAX, CallbackEntry, _PROCESSED
+    from ._core import CBE_POOL_MAX, TIMEOUT_POOL_MAX, CallbackEntry, _PROCESSED
     from .events import Timeout
     from .kernel import Simulator
     from .process import Process
@@ -102,6 +102,7 @@ def _configure(mod) -> None:
             "timeout_slow": Simulator._timeout_wheel_slow,
             "wait_on": Process._wait_on,
             "cbe_pool_max": CBE_POOL_MAX,
+            "timeout_pool_max": TIMEOUT_POOL_MAX,
         }
     )
 

@@ -422,6 +422,7 @@ def drain_fifo(sim):
     PROC = _PROCESSED
     grc = getrefcount
     creg = sim._creg
+    cbatch = sim._cbatch
     n = 0
     n0 = sim.events_executed
     try:
@@ -537,6 +538,26 @@ def drain_fifo(sim):
             sim._batch_time = t
             sim._reg_free = False
             sim._bi = 0
+            if cbatch is not None:
+                # Compiled batch dispatch (see _accel.py): same take-and-
+                # null loop as below, live-append recheck included; on an
+                # escaping exception the partial count is handed over in
+                # sim._creg_n (interrupted entry included).
+                try:
+                    i = cbatch()
+                except BaseException:
+                    i = sim._creg_n
+                    n += i
+                    restore_fifo(sim, t, ls, i)
+                    raise
+                n += i
+                sim._batch = None
+                sim._reg_free = not sim._nstruct
+                sim._batches += 1
+                sim._batched_events += i
+                if i > sim._max_batch:
+                    sim._max_batch = i
+                continue
             i = 0
             blen = len(ls)
             try:
@@ -615,6 +636,7 @@ def drain_fifo_gated(sim, stop, max_events):
     cbpool = sim._cbe_pool
     PROC = _PROCESSED
     grc = getrefcount
+    cbatch = sim._cbatch
     n = 0
     n0 = sim.events_executed
     try:
@@ -679,6 +701,30 @@ def drain_fifo_gated(sim, stop, max_events):
             sim._batch_time = t
             sim._reg_free = False
             sim._bi = 0
+            if cbatch is not None:
+                # Compiled batch dispatch with an event budget: the C loop
+                # stops once the remaining max_events allowance is spent,
+                # and the raise below matches the pure loop's per-event
+                # check (which fires even when the budget runs out exactly
+                # at the end of a batch).
+                try:
+                    i = cbatch(-1 if max_events == INF else int(max_events - n))
+                except BaseException:
+                    i = sim._creg_n
+                    n += i
+                    restore_fifo(sim, t, ls, i)
+                    raise
+                n += i
+                if n >= max_events:
+                    restore_fifo(sim, t, ls, i)
+                    raise SimulationError(f"exceeded max_events={max_events}")
+                sim._batch = None
+                sim._reg_free = not sim._nstruct
+                sim._batches += 1
+                sim._batched_events += i
+                if i > sim._max_batch:
+                    sim._max_batch = i
+                continue
             i = 0
             blen = len(ls)
             try:

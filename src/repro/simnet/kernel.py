@@ -178,9 +178,11 @@ class Simulator:
         "_bi",
         "_pol_batch",
         # optional C accelerator (see _accel.py): register-regime drain
-        # bound per instance, plus its partial-count handoff slot
+        # bound per instance, plus its partial-count handoff slot and the
+        # same-instant batch dispatcher
         "_creg",
         "_creg_n",
+        "_cbatch",
         # optional causality recorder (see causality.py); None when capture
         # is off, in which case no code path in this module reads it
         "_recorder",
@@ -232,10 +234,16 @@ class Simulator:
         self._cbe_reuses = 0
         self._creg = None
         self._creg_n = 0
+        self._cbatch = None
         self._recorder = None
 
         if calendar is None:
             calendar = os.environ.get("REPRO_KERNEL") or "wheel"
+            if calendar in ("cells", "decoupled", "cells-lockstep"):
+                # The cells kernel needs a topology to derive its lookahead
+                # table from, so only Fabric can construct a CellSimulator;
+                # a plain Simulator under REPRO_KERNEL=cells keeps the wheel.
+                calendar = "wheel"
         if calendar not in ("wheel", "heap"):
             raise SimulationError(
                 f"unknown calendar backend {calendar!r} (expected 'wheel' or 'heap')"
@@ -278,12 +286,18 @@ class Simulator:
                 if accel is not None:
                     self.timeout = accel.bind_timeout(self)
                     self._creg = accel.bind_reg_drain(self)
+                    self._cbatch = accel.bind_batch_run(self)
         else:
             self.schedule = self._schedule_policy_wheel
             self.call_in = self._call_in_policy_wheel
             self.timeout = self._timeout_policy_wheel
         self.step = self._step_wheel
         self.peek = self._peek_wheel
+
+    #: True on :class:`~repro.simnet.cells.CellSimulator`; lets call sites
+    #: (connection handshakes, apps) pick cells-safe waiting without
+    #: importing the cells module.
+    is_cells = False
 
     # ------------------------------------------------------------------
     # clock
@@ -292,6 +306,29 @@ class Simulator:
     def now(self) -> int:
         """Current simulated time in nanoseconds."""
         return self._now
+
+    # ------------------------------------------------------------------
+    # cells-kernel compatibility surface (see repro.simnet.cells)
+    # ------------------------------------------------------------------
+    def call_in_cell(self, cell: int, delay: int, fn: Callable[[Any], None], arg: Any = None) -> None:
+        """Schedule ``fn(arg)`` in a specific cell.
+
+        On the monolithic kernel there is only one calendar, so the cell
+        index is ignored; cross-cell call sites (link deliveries, device
+        ACKs) can route unconditionally.
+        """
+        self.call_in(delay, fn, arg)
+
+    def defer_control(self, fn: Callable[[Any], None], arg: Any = None) -> None:
+        """Run ``fn(arg)`` now.
+
+        The cells kernel defers the call to the control cell at the
+        current instant (a deterministic rendezvous after every cell has
+        finished it); the monolithic kernel is that rendezvous already,
+        so this is a direct call — bit-identical to call sites simply
+        invoking ``fn(arg)`` themselves.
+        """
+        fn(arg)
 
     # ------------------------------------------------------------------
     # scheduling — wheel backend, FIFO

@@ -74,12 +74,14 @@ class CompletionQueue:
 
     def poll(self, max_entries: int = 0) -> List[WorkCompletion]:
         """Remove and return up to *max_entries* completions (0 = all)."""
-        if max_entries <= 0:
-            max_entries = len(self._entries)
-        out: List[WorkCompletion] = []
-        while self._entries and len(out) < max_entries:
-            out.append(self._entries.popleft())
-        return out
+        entries = self._entries
+        if not entries:
+            return []
+        if max_entries <= 0 or max_entries >= len(entries):
+            out = list(entries)
+            entries.clear()
+            return out
+        return [entries.popleft() for _ in range(max_entries)]
 
     def req_notify(self) -> None:
         """Arm a one-shot notification for the next pushed completion."""

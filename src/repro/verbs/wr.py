@@ -64,13 +64,17 @@ class SendWR:
         return self.sge.length if self.sge else 0
 
 
-@dataclass
+@dataclass(slots=True)
 class RecvWR:
     """A receive-queue work request.
 
     A zero-length RECV (``sge=None``) is legal and is exactly what UNH EXS
     posts to absorb WRITE-WITH-IMM notifications: the data lands via RDMA,
     the RECV only conveys the immediate value.
+
+    ``slots=True`` matters here: SRQ pools post tens of thousands of these
+    during stack bring-up (one per slot at 10k-connection depths), and the
+    per-instance dict is the dominant allocation cost.
     """
 
     wr_id: int = 0
